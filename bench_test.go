@@ -1,0 +1,292 @@
+package isis_test
+
+// Benchmark harness: one benchmark per evaluation artifact of the paper
+// (Table 1, Figure 2, Figure 3, the Section 5 twenty-questions rates, the
+// Section 7 CPU-utilisation observation) plus micro-benchmarks of the three
+// primitives and two design-choice ablations. The same harnesses are
+// exposed as a command-line tool, cmd/isis-bench, which prints the paper's
+// tables and series in text form; EXPERIMENTS.md records paper-vs-measured.
+
+import (
+	"testing"
+	"time"
+
+	isis "repro"
+	"repro/internal/bench"
+	"repro/internal/simnet"
+	"repro/internal/tools/replica"
+)
+
+// paperSizes are the message sizes of Figure 2.
+var paperSizes = []int{10, 100, 1000, 10000}
+
+// BenchmarkTable1 regenerates Table 1: the multicast cost of each toolkit
+// routine. The counts are reported as benchmark metrics and printed.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", bench.FormatTable1(rows))
+		}
+	}
+}
+
+// BenchmarkFigure2Throughput regenerates the asynchronous-CBCAST throughput
+// panel of Figure 2 (bytes/second versus message size, 2 destinations) on
+// the paper-calibrated network.
+func BenchmarkFigure2Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := bench.RunFigure2Throughput(simnet.PaperConfig(), 2, paperSizes, 200*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", bench.FormatFigure2(points))
+			for _, p := range points {
+				if p.SizeBytes == 1000 {
+					b.ReportMetric(p.Throughput, "bytes/s@1KB")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure2Latency regenerates the latency panels of Figure 2: the
+// latency of CBCAST, ABCAST and GBCAST versus message size with one reply
+// from a local destination.
+func BenchmarkFigure2Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var all []bench.Fig2Point
+		for _, proto := range []isis.Protocol{isis.CBCAST, isis.ABCAST, isis.GBCAST} {
+			points, err := bench.RunFigure2Latency(simnet.PaperConfig(), proto, 2, paperSizes, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			all = append(all, points...)
+		}
+		if i == 0 {
+			b.Logf("\n%s", bench.FormatFigure2(all))
+		}
+	}
+}
+
+// BenchmarkFigure3Breakdown regenerates Figure 3: the decomposition of one
+// ABCAST's execution time on the paper-calibrated network, dominated by the
+// three inter-site packets of the two-phase protocol.
+func BenchmarkFigure3Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		breakdown, err := bench.RunFigure3(simnet.PaperConfig(), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", bench.FormatFigure3(breakdown))
+			b.ReportMetric(breakdown.TotalMs, "ms/abcast")
+			b.ReportMetric(float64(breakdown.CriticalPackets), "intersite-msgs")
+		}
+	}
+}
+
+// BenchmarkTwentyQuestions regenerates the Section 5 end-to-end numbers: the
+// aggregate query and replicated-update rates of the twenty-questions
+// service with members at 4 sites (the paper reports ~30 queries/s or ~5
+// updates/s on 1987 hardware).
+func BenchmarkTwentyQuestions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunTwentyQuestions(simnet.PaperConfig(), 500*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("twenty questions: %.1f queries/s, %.1f updates/s (paper: ~30 and ~5)",
+				res.QueriesPerSec, res.UpdatesPerSec)
+			b.ReportMetric(res.QueriesPerSec, "queries/s")
+			b.ReportMetric(res.UpdatesPerSec, "updates/s")
+		}
+	}
+}
+
+// BenchmarkSenderUtilization regenerates the Section 7 CPU observation:
+// asynchronous CBCAST keeps the sending site busy, ABCAST leaves it idle
+// waiting for remote proposals.
+func BenchmarkSenderUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := bench.RunSenderUtilization(simnet.PaperConfig(), 300*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range results {
+				b.Logf("%-35s sender utilisation %.0f%%", r.Workload, 100*r.Utilization)
+			}
+			b.ReportMetric(100*results[0].Utilization, "%async")
+			b.ReportMetric(100*results[1].Utilization, "%abcast")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the primitives (fast network, per-operation cost).
+
+func primitiveCluster(b *testing.B, sites int) (*isis.Cluster, []*isis.Process, isis.Address) {
+	b.Helper()
+	// Heartbeats are disabled: at benchmark rates (tens of thousands of
+	// multicasts per second on one machine) the aggressive test-grade
+	// failure-detector timeouts produce false suspicions, which is not what
+	// these micro-benchmarks measure.
+	c, err := isis.NewCluster(isis.ClusterConfig{Sites: sites, CallTimeout: 5 * time.Second,
+		ReplyTimeout: 10 * time.Second, DisableHeartbeats: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	procs := make([]*isis.Process, sites)
+	var gid isis.Address
+	for i := 0; i < sites; i++ {
+		p, err := c.Site(isis.SiteID(i + 1)).Spawn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.BindEntry(isis.EntryUserBase, func(m *isis.Message) {
+			if m.Has("@session") {
+				_ = p.Reply(m, isis.NewMessage())
+			}
+		})
+		procs[i] = p
+		if i == 0 {
+			v, err := p.CreateGroup("micro")
+			if err != nil {
+				b.Fatal(err)
+			}
+			gid = v.Group
+		} else if _, err := p.JoinByName("micro", isis.JoinOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	return c, procs, gid
+}
+
+// BenchmarkCBCASTAsync measures the sender-side cost of an asynchronous
+// CBCAST to a 3-member group (no artificial network delays).
+func BenchmarkCBCASTAsync(b *testing.B) {
+	_, procs, gid := primitiveCluster(b, 3)
+	payload := isis.Text("x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := procs[0].Cast(isis.CBCAST, []isis.Address{gid}, isis.EntryUserBase, payload, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	_ = procs[0].Flush()
+}
+
+// BenchmarkABCASTRoundTrip measures an ABCAST followed by one reply.
+func BenchmarkABCASTRoundTrip(b *testing.B) {
+	_, procs, gid := primitiveCluster(b, 3)
+	payload := isis.Text("x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := procs[0].Cast(isis.ABCAST, []isis.Address{gid}, isis.EntryUserBase, payload, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGBCAST measures a user-level GBCAST to a 3-member group.
+func BenchmarkGBCAST(b *testing.B) {
+	_, procs, gid := primitiveCluster(b, 3)
+	payload := isis.Text("x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := procs[0].Cast(isis.GBCAST, []isis.Address{gid}, isis.EntryUserBase, payload, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupRPCOneReply measures a full group RPC (query + one reply)
+// issued by a non-member client.
+func BenchmarkGroupRPCOneReply(b *testing.B) {
+	c, _, gid := primitiveCluster(b, 3)
+	client, err := c.Site(2).Spawn()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := client.Lookup("micro"); err != nil {
+		b.Fatal(err)
+	}
+	payload := isis.Text("q")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Query(isis.CBCAST, []isis.Address{gid}, isis.EntryUserBase, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (design-choice experiments listed in DESIGN.md).
+
+// BenchmarkAblationOrdering compares CBCAST-mode and ABCAST-mode replicated
+// updates for a single-writer item: the causal mode is sufficient there, and
+// this ablation quantifies what the stronger ordering costs per update.
+func BenchmarkAblationOrdering(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		m    replica.Mode
+	}{{"causal", replica.Causal}, {"total", replica.Total}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c, procs, gid := primitiveCluster(b, 3)
+			_ = c
+			items := make([]*replica.Item, len(procs))
+			for i, p := range procs {
+				var v int64
+				items[i] = replica.Manage(p, gid, "abl",
+					func(args *isis.Message) { v += args.GetInt("d", 0) }, nil,
+					replica.Options{Mode: mode.m, Entry: isis.EntryUserBase + 9})
+			}
+			upd := isis.NewMessage().PutInt("d", 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := items[0].Update(upd); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			_ = procs[0].Flush()
+		})
+	}
+}
+
+// BenchmarkAblationExecutionStyle compares the two request-execution styles
+// of Section 3.3 for a read-style request: full replication (every member
+// replies, caller waits for all) versus the coordinator-style single reply.
+func BenchmarkAblationExecutionStyle(b *testing.B) {
+	for _, style := range []struct {
+		name string
+		want int
+	}{{"coordinator-single-reply", 1}, {"full-replication-all-replies", isis.All}} {
+		b.Run(style.name, func(b *testing.B) {
+			c, _, gid := primitiveCluster(b, 3)
+			client, err := c.Site(1).Spawn()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := client.Lookup("micro"); err != nil {
+				b.Fatal(err)
+			}
+			payload := isis.Text("q")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Cast(isis.CBCAST, []isis.Address{gid}, isis.EntryUserBase, payload, style.want); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

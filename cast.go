@@ -1,0 +1,220 @@
+package isis
+
+import (
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/msg"
+	"repro/internal/protos"
+)
+
+// protosJoinOptions aliases the daemon's join options so process.go does not
+// import the protos package directly in its public signatures.
+type protosJoinOptions = protos.JoinOptions
+
+// All requests replies from every destination of a Cast.
+const All = -1
+
+// Reply classification values carried in the FReply system field.
+const (
+	replyNormal = 1
+	replyNull   = 2
+)
+
+// Cast sends a message to a destination list — typically a group address,
+// possibly plus individual processes — using the selected multicast
+// primitive, and collects replies (Section 3.2 "Broadcasts and group RPC").
+//
+// want selects how many replies the caller needs: 0 performs the broadcast
+// asynchronously (the caller continues immediately and nil is returned), a
+// positive n waits for n normal replies, and All waits for a reply from
+// every destination. Null replies (sent by destinations that do not intend
+// to answer, such as hot standbys) are never returned but count as "this
+// destination has responded", so a caller waiting for All is not delayed by
+// them. If destinations fail before enough replies arrive, Cast returns the
+// replies it has together with ErrNoResponders.
+func (p *Process) Cast(proto Protocol, dests []Address, entry EntryID, m *Message, want int) ([]*Message, error) {
+	if !p.Alive() {
+		return nil, ErrProcessKilled
+	}
+	if m == nil {
+		m = NewMessage()
+	}
+	payload := m.Clone()
+	payload.StripSystemFields()
+
+	if want == 0 {
+		_, err := p.site.daemon.Multicast(p.addr, proto, addr.List(dests), entry, payload)
+		return nil, err
+	}
+
+	// Register the pending call before sending so replies cannot race past.
+	p.mu.Lock()
+	p.session++
+	session := p.session
+	call := &pendingCall{replies: make(chan *Message, 64)}
+	p.pending[session] = call
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.pending, session)
+		p.mu.Unlock()
+	}()
+	payload.PutInt(msg.FSession, session)
+
+	if _, err := p.site.daemon.Multicast(p.addr, proto, addr.List(dests), entry, payload); err != nil {
+		return nil, err
+	}
+	return p.collectReplies(call, dests, want)
+}
+
+// Query is shorthand for a Cast that waits for exactly one reply and returns
+// it (or nil with an error).
+func (p *Process) Query(proto Protocol, dests []Address, entry EntryID, m *Message) (*Message, error) {
+	replies, err := p.Cast(proto, dests, entry, m, 1)
+	if err != nil {
+		return nil, err
+	}
+	if len(replies) == 0 {
+		return nil, ErrNoResponders
+	}
+	return replies[0], nil
+}
+
+// collectReplies waits until the desired number of normal replies has
+// arrived, or every remaining destination has failed or declined (null
+// replies), or the reply timeout expires.
+func (p *Process) collectReplies(call *pendingCall, dests []Address, want int) ([]*Message, error) {
+	var replies []*Message
+	responded := make(map[Address]bool)
+	deadline := time.NewTimer(p.replyTimeout)
+	defer deadline.Stop()
+	recheck := time.NewTicker(5 * time.Millisecond)
+	defer recheck.Stop()
+	lastRefresh := time.Now()
+
+	expected := p.expectedResponders(dests)
+	for {
+		if want != All && len(replies) >= want {
+			return replies, nil
+		}
+		if want == All && expected > 0 && len(responded) >= expected {
+			return replies, nil
+		}
+		if expected == 0 {
+			if len(replies) > 0 || want == All {
+				return replies, nil
+			}
+			return replies, ErrNoResponders
+		}
+		select {
+		case r := <-call.replies:
+			sender := r.Sender()
+			if responded[sender] {
+				continue // duplicate replies are discarded silently
+			}
+			responded[sender] = true
+			if r.GetInt(msg.FReply, replyNormal) == replyNormal {
+				replies = append(replies, r)
+			}
+			// A null reply just marks the destination as having responded.
+			if len(responded) >= expected {
+				if want == All || len(replies) >= want {
+					return replies, nil
+				}
+				// Everyone responded but too many were null replies.
+				return replies, ErrNoResponders
+			}
+		case <-recheck.C:
+			// Destinations may have failed: recompute how many can still
+			// answer. Members that already responded stay counted. Cached
+			// views of groups this site does not host are refreshed
+			// periodically so remote failures are noticed too.
+			if time.Since(lastRefresh) > 150*time.Millisecond {
+				lastRefresh = time.Now()
+				for _, dst := range dests {
+					if dst.IsGroup() {
+						_, _ = p.site.daemon.RefreshGroupView(dst)
+					}
+				}
+			}
+			live := p.expectedResponders(dests)
+			if live < expected {
+				expected = live
+			}
+			if len(responded) >= expected {
+				if want == All || len(replies) >= want {
+					return replies, nil
+				}
+				return replies, ErrNoResponders
+			}
+		case <-deadline.C:
+			return replies, ErrReplyTimeout
+		}
+	}
+}
+
+// expectedResponders estimates how many destinations can still reply: the
+// current membership of any group destination plus the explicit process
+// destinations.
+func (p *Process) expectedResponders(dests []Address) int {
+	n := 0
+	for _, d := range dests {
+		if d.IsGroup() {
+			if v, ok := p.CurrentView(d); ok {
+				n += v.Size()
+			}
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// Reply answers a request received by this process (the reply is itself a
+// multicast, so copies can be sent elsewhere with ReplyWithCopies). The
+// request must have been sent by a Cast that asked for replies.
+func (p *Process) Reply(req *Message, reply *Message) error {
+	return p.replyInternal(req, reply, replyNormal, nil, 0)
+}
+
+// NullReply tells the caller that this process does not intend to send a
+// normal reply (used by standbys and non-participants so callers waiting for
+// ALL replies are not delayed; Section 3.2).
+func (p *Process) NullReply(req *Message) error {
+	return p.replyInternal(req, NewMessage(), replyNull, nil, 0)
+}
+
+// ReplyWithCopies answers a request and sends a copy of the reply to the
+// given additional destinations at the given entry (the coordinator–cohort
+// tool uses this so cohorts learn the computation finished; Section 6).
+func (p *Process) ReplyWithCopies(req *Message, reply *Message, copies []Address, copyEntry EntryID) error {
+	return p.replyInternal(req, reply, replyNormal, copies, copyEntry)
+}
+
+func (p *Process) replyInternal(req, reply *Message, kind int64, copies []Address, copyEntry EntryID) error {
+	if !p.Alive() {
+		return ErrProcessKilled
+	}
+	if req == nil || !req.Has(msg.FSession) {
+		return ErrNotARequest
+	}
+	caller := req.Sender()
+	session := req.Session()
+	out := reply.Clone()
+	out.StripSystemFields()
+	out.PutInt(msg.FSession, session)
+	out.PutInt(msg.FReply, kind)
+	if _, err := p.site.daemon.Multicast(p.addr, CBCAST, addr.List{caller}, 0, out); err != nil {
+		return err
+	}
+	if len(copies) > 0 {
+		cp := reply.Clone()
+		cp.StripSystemFields()
+		cp.PutInt("cc-origin-session", session)
+		if _, err := p.site.daemon.Multicast(p.addr, CBCAST, addr.List(copies), copyEntry, cp); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package isis
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/fdetect"
+	"repro/internal/protos"
+	"repro/internal/simnet"
+)
+
+// ClusterConfig parameterizes a simulated ISIS cluster.
+type ClusterConfig struct {
+	// Sites is the number of sites created up front (ids 1..Sites). More
+	// can be added later with AddSite.
+	Sites int
+	// Net configures the simulated LAN; the zero value selects
+	// FastNetConfig (no artificial delays), which is what tests want.
+	// Benchmarks pass PaperNetConfig.
+	Net simnet.Config
+	// Detector configures the failure detector at every site; the zero
+	// value picks settings suited to the Net configuration.
+	Detector fdetect.Config
+	// CallTimeout bounds the toolkit's internal request/response exchanges.
+	CallTimeout time.Duration
+	// ReplyTimeout bounds how long Cast waits for replies before giving up
+	// on destinations that have not answered. Defaults to 10 s.
+	ReplyTimeout time.Duration
+	// DisableHeartbeats silences the failure detector's periodic traffic;
+	// benchmarks use it to keep the measured links quiet.
+	DisableHeartbeats bool
+}
+
+// Cluster is a simulated distributed system: a LAN plus one ISIS site
+// (protocols daemon) per site id. All state is in-process; sites "crash" by
+// detaching from the network.
+type Cluster struct {
+	cfg ClusterConfig
+	net *simnet.Network
+
+	mu    sync.Mutex
+	sites map[SiteID]*Site
+}
+
+// ErrNoSuchSite is returned when addressing an unknown or crashed site.
+var ErrNoSuchSite = errors.New("isis: no such site")
+
+// NewCluster builds a cluster with cfg.Sites sites attached to a fresh
+// simulated network.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Sites <= 0 {
+		cfg.Sites = 1
+	}
+	if cfg.Net.QueueLen == 0 && cfg.Net.MaxPacket == 0 && cfg.Net.InterSiteDelay == 0 {
+		cfg.Net = simnet.FastConfig()
+	}
+	if cfg.ReplyTimeout <= 0 {
+		cfg.ReplyTimeout = 10 * time.Second
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 5 * time.Second
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		net:   simnet.New(cfg.Net),
+		sites: make(map[SiteID]*Site),
+	}
+	for i := 1; i <= cfg.Sites; i++ {
+		if _, err := c.AddSite(SiteID(i)); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Network exposes the simulated LAN (for statistics and tracing).
+func (c *Cluster) Network() *simnet.Network { return c.net }
+
+// AddSite attaches a new site (or restarts a crashed one with a fresh
+// incarnation) and returns it.
+func (c *Cluster) AddSite(id SiteID) (*Site, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inc := addr.Incarnation(0)
+	if old, ok := c.sites[id]; ok {
+		inc = old.incarnation + 1
+	}
+	d, err := protos.New(protos.Config{
+		Site:              id,
+		Incarnation:       inc,
+		Network:           c.net,
+		Detector:          c.cfg.Detector,
+		CallTimeout:       c.cfg.CallTimeout,
+		DisableHeartbeats: c.cfg.DisableHeartbeats,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("isis: add site %d: %w", id, err)
+	}
+	s := &Site{cluster: c, id: id, incarnation: inc, daemon: d}
+	c.sites[id] = s
+	return s, nil
+}
+
+// Site returns the site with the given id, or nil if it does not exist (or
+// has crashed and not been restarted).
+func (c *Cluster) Site(id SiteID) *Site {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sites[id]
+}
+
+// Sites returns all live sites in ascending id order.
+func (c *Cluster) Sites() []*Site {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Site, 0, len(c.sites))
+	for _, s := range c.sites {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// CrashSite simulates the total failure of a site: its daemon (and therefore
+// every process at the site) stops, and the site detaches from the network.
+// Other sites detect the crash by timeout.
+func (c *Cluster) CrashSite(id SiteID) error {
+	c.mu.Lock()
+	s, ok := c.sites[id]
+	if ok {
+		delete(c.sites, id)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return ErrNoSuchSite
+	}
+	s.daemon.Close()
+	return nil
+}
+
+// Counters aggregates the protocol counters of every live site.
+func (c *Cluster) Counters() Counters {
+	var total Counters
+	for _, s := range c.Sites() {
+		ct := s.daemon.Counters()
+		total.CBCASTs += ct.CBCASTs
+		total.ABCASTs += ct.ABCASTs
+		total.GBCASTs += ct.GBCASTs
+		total.PointToPoints += ct.PointToPoints
+		total.Delivered += ct.Delivered
+		total.ViewChanges += ct.ViewChanges
+	}
+	return total
+}
+
+// Close shuts down every site and the network.
+func (c *Cluster) Close() {
+	for _, s := range c.Sites() {
+		s.daemon.Close()
+	}
+	c.net.Close()
+}
+
+// Site is one computing site of the cluster.
+type Site struct {
+	cluster     *Cluster
+	id          SiteID
+	incarnation addr.Incarnation
+	daemon      *protos.Daemon
+}
+
+// ID returns the site identifier.
+func (s *Site) ID() SiteID { return s.id }
+
+// Daemon exposes the site's protocols process; the toolkit tools and the
+// benchmark harness use it directly.
+func (s *Site) Daemon() *protos.Daemon { return s.daemon }
+
+// Cluster returns the owning cluster.
+func (s *Site) Cluster() *Cluster { return s.cluster }
+
+// WatchSites registers a callback for failure-detector events observed at
+// this site (used by the recovery manager and the news service).
+func (s *Site) WatchSites(cb func(SiteEvent)) { s.daemon.WatchSites(cb) }
+
+// Spawn creates a new client process at this site.
+func (s *Site) Spawn() (*Process, error) {
+	p := &Process{
+		site:         s,
+		replyTimeout: s.cluster.cfg.ReplyTimeout,
+		monitors:     make(map[Address][]func(View)),
+		pending:      make(map[int64]*pendingCall),
+		providers:    make(map[Address]func() [][]byte),
+	}
+	p.tasks = newTaskManager()
+	a, err := s.daemon.RegisterProcess(p.onDeliver, p.onView)
+	if err != nil {
+		return nil, err
+	}
+	p.addr = a
+	return p, nil
+}

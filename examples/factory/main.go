@@ -1,0 +1,176 @@
+// Command factory sketches the factory-automation scenario that motivates
+// the paper's introduction (Section 1): a VLSI fabrication line controlled
+// by cooperating services built from the toolkit.
+//
+//   - The "emulsion" service is a process group that executes deposition
+//     requests with the coordinator–cohort tool: one member performs each
+//     request, the others monitor it and take over if it fails.
+//   - A replicated work-queue (the replicated data tool in Total mode)
+//     records pending wafer batches identically at every member.
+//   - The configuration tool re-balances the line at run time.
+//   - The news service broadcasts alerts to every enrolled operator console.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	isis "repro"
+	"repro/internal/tools/config"
+	"repro/internal/tools/coordcohort"
+	"repro/internal/tools/news"
+	"repro/internal/tools/replica"
+)
+
+const entryDeposit = isis.EntryUserBase + 5
+
+func main() {
+	cluster, err := isis.NewCluster(isis.ClusterConfig{Sites: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// The news service: one server, plus operator consoles that subscribe
+	// to the "alerts" subject.
+	newsHost, _ := cluster.Site(1).Spawn()
+	if _, err := news.StartServer(newsHost); err != nil {
+		log.Fatal(err)
+	}
+	console, _ := cluster.Site(3).Spawn()
+	consoleClient, err := news.NewClient(console)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alerts := make(chan string, 16)
+	if err := consoleClient.Subscribe("alerts", func(p news.Posting) { alerts <- p.Body }); err != nil {
+		log.Fatal(err)
+	}
+
+	// The emulsion-deposit service: three members across the three sites.
+	fmt.Println("== starting the emulsion service (3 members) ==")
+	type member struct {
+		proc  *isis.Process
+		tool  *coordcohort.Tool
+		queue *replica.Item
+		cfg   *config.Tool
+		done  atomic.Int64
+	}
+	members := make([]*member, 3)
+	var gid isis.Address
+	var plist []isis.Address
+	for i := 0; i < 3; i++ {
+		p, err := cluster.Site(isis.SiteID(i + 1)).Spawn()
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := &member{proc: p}
+		members[i] = m
+		if i == 0 {
+			v, err := p.CreateGroup("emulsion")
+			if err != nil {
+				log.Fatal(err)
+			}
+			gid = v.Group
+		} else {
+			if _, err := p.JoinByName("emulsion", isis.JoinOptions{}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		plist = append(plist, p.Address())
+	}
+	// Tool wiring (done after the membership is complete so every member
+	// shares the same participant list).
+	newsPoster, _ := cluster.Site(1).Spawn()
+	poster, err := news.NewClient(newsPoster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, m := range members {
+		i, m := i, m
+		m.tool = coordcohort.New(m.proc, gid)
+		m.cfg = config.New(m.proc, gid)
+		// The replicated work queue: every member appends batches in the
+		// same (ABCAST) order.
+		var local []string
+		m.queue = replica.Manage(m.proc, gid, "workqueue",
+			func(args *isis.Message) { local = append(local, args.GetString("batch", "")) },
+			func(*isis.Message) *isis.Message {
+				return isis.NewMessage().PutInt("pending", int64(len(local)))
+			}, replica.Options{Mode: replica.Total})
+		// Deposition requests are executed coordinator–cohort style.
+		m.proc.BindEntry(entryDeposit, func(req *isis.Message) {
+			m.tool.Handle(req, plist, func(r *isis.Message) *isis.Message {
+				batch := r.GetString("batch", "")
+				m.done.Add(1)
+				_ = poster.Post("alerts", fmt.Sprintf("member %d deposited emulsion on %s", i, batch), nil)
+				return isis.NewMessage().PutString("status", "deposited "+batch)
+			}, nil)
+		})
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	// The transport service submits wafer batches: first enqueue on the
+	// replicated queue, then request deposition via group RPC.
+	transport, _ := cluster.Site(2).Spawn()
+	if _, err := transport.Lookup("emulsion"); err != nil {
+		log.Fatal(err)
+	}
+	queueClient := replica.NewClient(transport, gid, "workqueue", 0, replica.Total)
+
+	fmt.Println("== submitting three wafer batches ==")
+	for _, batch := range []string{"batch-A", "batch-B", "batch-C"} {
+		if err := queueClient.Update(isis.NewMessage().PutString("batch", batch)); err != nil {
+			log.Fatal(err)
+		}
+		req := isis.NewMessage().PutString("batch", batch)
+		reply, err := transport.Query(isis.CBCAST, []isis.Address{gid}, entryDeposit, req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  transport: %s\n", reply.GetString("status", "?"))
+	}
+	if r, err := queueClient.Read(isis.NewMessage()); err == nil {
+		fmt.Printf("  replicated work queue length at a member: %d\n", r.GetInt("pending", -1))
+	}
+
+	// Dynamic reconfiguration: shift the line to "night mode" through the
+	// configuration tool; every member sees the change at the same point.
+	fmt.Println("== reconfiguring the line (config tool) ==")
+	if err := members[0].cfg.Update("shift", []byte("night")); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	for i, m := range members {
+		v, _ := m.cfg.Read("shift")
+		fmt.Printf("  member %d sees shift=%s\n", i, v)
+	}
+
+	// A member fails mid-run; the cohorts keep the service available.
+	fmt.Println("== failing one member; the service keeps answering ==")
+	if err := members[0].proc.Kill(); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	reply, err := transport.Query(isis.CBCAST, []isis.Address{gid}, entryDeposit,
+		isis.NewMessage().PutString("batch", "batch-D"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  transport after failure: %s\n", reply.GetString("status", "?"))
+
+	// Drain a few operator alerts.
+	fmt.Println("== operator console alerts ==")
+	deadline := time.After(2 * time.Second)
+	for i := 0; i < 3; i++ {
+		select {
+		case a := <-alerts:
+			fmt.Printf("  alert: %s\n", a)
+		case <-deadline:
+			i = 3
+		}
+	}
+	fmt.Printf("== done; counters: %+v ==\n", cluster.Counters())
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/addr"
+	"repro/internal/vclock"
+)
+
+// CausalIncoming is one CBCAST as seen by a receiving member: the message
+// identifier, the rank of the sender in the view the message was sent in
+// (-1 when the sender is not a group member), the sender's vector timestamp
+// (ranked senders) or per-sender sequence number (external senders), and the
+// opaque payload the protocols process will eventually hand to the
+// application.
+type CausalIncoming struct {
+	ID         MsgID
+	SenderRank int
+	VT         vclock.VC
+	Seq        uint64
+	Payload    any
+}
+
+// CausalQueue is the per-member receiver state of the CBCAST protocol. It
+// buffers messages that are not yet causally deliverable and releases them
+// as their causal predecessors arrive. Vector timestamps are per view: the
+// GBCAST flush that precedes every view change guarantees that no CBCAST
+// crosses a view boundary, so the clock is simply reset when a new view is
+// installed.
+//
+// CausalQueue is not safe for concurrent use; the owning protocols process
+// serializes access.
+type CausalQueue struct {
+	selfRank int
+	vc       vclock.VC
+
+	pending []CausalIncoming // messages from ranked senders, not yet deliverable
+
+	// External (non-member) senders get FIFO ordering: the queue tracks the
+	// next expected sequence number per sender and buffers out-of-order
+	// arrivals. This state survives view changes.
+	extNext    map[addr.Address]uint64
+	extPending map[addr.Address]map[uint64]CausalIncoming
+}
+
+// NewCausalQueue creates the receiver state for a member with the given rank
+// in a view of the given size.
+func NewCausalQueue(selfRank, viewSize int) *CausalQueue {
+	return &CausalQueue{
+		selfRank:   selfRank,
+		vc:         vclock.New(viewSize),
+		extNext:    make(map[addr.Address]uint64),
+		extPending: make(map[addr.Address]map[uint64]CausalIncoming),
+	}
+}
+
+// Clock returns a copy of the member's current vector clock.
+func (q *CausalQueue) Clock() vclock.VC { return q.vc.Clone() }
+
+// SelfRank returns the member's rank in the current view.
+func (q *CausalQueue) SelfRank() int { return q.selfRank }
+
+// PrepareSend advances the member's own clock entry and returns the vector
+// timestamp to stamp on an outgoing CBCAST. The caller must deliver the
+// message locally right away (a sender always sees its own multicast
+// immediately; this is what makes asynchronous use safe — Section 3.4).
+func (q *CausalQueue) PrepareSend() vclock.VC {
+	q.vc.Tick(q.selfRank)
+	return q.vc.Clone()
+}
+
+// Receive buffers an incoming CBCAST and returns every message (including
+// possibly this one) that has now become deliverable, in causal order.
+// Messages from the member itself are ignored (they were delivered at send
+// time).
+func (q *CausalQueue) Receive(in CausalIncoming) []CausalIncoming {
+	if in.SenderRank == q.selfRank && in.SenderRank >= 0 {
+		return nil
+	}
+	if in.SenderRank < 0 {
+		return q.receiveExternal(in)
+	}
+	q.pending = append(q.pending, in)
+	return q.drain()
+}
+
+// receiveExternal handles FIFO ordering for non-member senders.
+func (q *CausalQueue) receiveExternal(in CausalIncoming) []CausalIncoming {
+	sender := in.ID.Sender.Base()
+	next, ok := q.extNext[sender]
+	if !ok {
+		next = 1
+		q.extNext[sender] = 1
+	}
+	if in.Seq < next {
+		return nil // duplicate
+	}
+	buf := q.extPending[sender]
+	if buf == nil {
+		buf = make(map[uint64]CausalIncoming)
+		q.extPending[sender] = buf
+	}
+	buf[in.Seq] = in
+	var out []CausalIncoming
+	for {
+		m, ok := buf[q.extNext[sender]]
+		if !ok {
+			break
+		}
+		delete(buf, q.extNext[sender])
+		q.extNext[sender]++
+		out = append(out, m)
+	}
+	return out
+}
+
+// drain repeatedly scans the pending buffer for deliverable messages until
+// none remains deliverable, returning them in delivery order.
+func (q *CausalQueue) drain() []CausalIncoming {
+	var out []CausalIncoming
+	for {
+		idx := -1
+		for i, m := range q.pending {
+			if q.vc.Deliverable(m.VT, m.SenderRank) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return out
+		}
+		m := q.pending[idx]
+		q.pending = append(q.pending[:idx], q.pending[idx+1:]...)
+		q.vc.Merge(m.VT)
+		out = append(out, m)
+	}
+}
+
+// Pending returns the messages from ranked senders that are buffered but not
+// yet deliverable, sorted by message id. The GBCAST flush collects these for
+// reconciliation during a view change.
+func (q *CausalQueue) Pending() []CausalIncoming {
+	out := append([]CausalIncoming(nil), q.pending...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
+	return out
+}
+
+// PendingCount returns the number of buffered, undeliverable messages from
+// ranked senders.
+func (q *CausalQueue) PendingCount() int { return len(q.pending) }
+
+// InstallView resets the per-view state for a new view in which the member
+// has the given rank and the view has the given size. Messages still pending
+// from the old view are returned so the caller (the flush protocol) can
+// decide their fate; after the call the queue is empty with a zero clock.
+func (q *CausalQueue) InstallView(selfRank, viewSize int) []CausalIncoming {
+	dropped := q.Pending()
+	q.pending = nil
+	q.selfRank = selfRank
+	q.vc = vclock.New(viewSize)
+	return dropped
+}

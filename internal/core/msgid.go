@@ -1,0 +1,31 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// MsgID uniquely identifies one multicast system-wide: the sending process
+// plus a per-sender sequence number. It is comparable and usable as a map
+// key; the total order on MsgIDs (sender address order, then sequence) is
+// used to break priority ties in the ABCAST protocol, which is what makes
+// the delivery order identical at every destination.
+type MsgID struct {
+	Sender addr.Address
+	Seq    uint64
+}
+
+// Less totally orders message identifiers.
+func (m MsgID) Less(o MsgID) bool {
+	if c := m.Sender.Compare(o.Sender); c != 0 {
+		return c < 0
+	}
+	return m.Seq < o.Seq
+}
+
+// IsZero reports whether the id is unset.
+func (m MsgID) IsZero() bool { return m == MsgID{} }
+
+// String renders the id as "proc(1.0/2)#17".
+func (m MsgID) String() string { return fmt.Sprintf("%s#%d", m.Sender, m.Seq) }

@@ -1,0 +1,203 @@
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/addr"
+)
+
+// Wire format (all integers big endian):
+//
+//	uint16  field count
+//	repeated field:
+//	    uint8   name length      (names are limited to 255 bytes)
+//	    bytes   name
+//	    uint8   field type
+//	    uint32  payload length
+//	    bytes   payload
+//
+// Payload encodings:
+//
+//	bytes / string:  raw bytes
+//	int:             8 bytes, two's complement
+//	address:         addr.EncodedSize bytes
+//	address list:    concatenation of addr.EncodedSize-byte addresses
+//	message:         a nested marshalled message
+//
+// The format is self-describing enough for the paper's needs (nested
+// messages, inspection by filters) while staying compact; a 10-byte user
+// payload marshals to a few tens of bytes, matching the small-message regime
+// of Figure 2.
+
+// Marshalling errors.
+var (
+	ErrNameTooLong = errors.New("msg: field name longer than 255 bytes")
+	ErrCorrupt     = errors.New("msg: corrupt message encoding")
+	ErrTooManyFlds = errors.New("msg: too many fields")
+)
+
+// maxFields bounds the field count in one message.
+const maxFields = math.MaxUint16
+
+// Marshal encodes the message into a fresh byte slice.
+func (m *Message) Marshal() ([]byte, error) {
+	return m.AppendMarshal(nil)
+}
+
+// AppendMarshal appends the encoding of m to dst and returns the extended
+// slice.
+func (m *Message) AppendMarshal(dst []byte) ([]byte, error) {
+	if len(m.fields) > maxFields {
+		return nil, ErrTooManyFlds
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.fields)))
+	// Marshal in sorted order so the encoding is deterministic; several
+	// tests and the stable-storage log rely on byte-for-byte stability.
+	for _, name := range m.Names() {
+		if len(name) > math.MaxUint8 {
+			return nil, fmt.Errorf("%w: %q", ErrNameTooLong, name)
+		}
+		f := m.fields[name]
+		dst = append(dst, byte(len(name)))
+		dst = append(dst, name...)
+		dst = append(dst, byte(f.typ))
+		var payload []byte
+		switch f.typ {
+		case TypeBytes:
+			payload = f.bytes
+		case TypeString:
+			payload = []byte(f.str)
+		case TypeInt:
+			var b [8]byte
+			binary.BigEndian.PutUint64(b[:], uint64(f.i))
+			payload = b[:]
+		case TypeAddress:
+			enc := f.adr.Encode()
+			payload = enc[:]
+		case TypeAddressList:
+			payload = make([]byte, 0, len(f.adrs)*addr.EncodedSize)
+			for _, a := range f.adrs {
+				payload = a.AppendEncoded(payload)
+			}
+		case TypeMessage:
+			var err error
+			payload, err = f.sub.Marshal()
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("msg: cannot marshal field %q of type %v", name, f.typ)
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+		dst = append(dst, payload...)
+	}
+	return dst, nil
+}
+
+// Unmarshal decodes a message from b. The entire slice must be consumed.
+func Unmarshal(b []byte) (*Message, error) {
+	m, rest, err := unmarshalPrefix(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	return m, nil
+}
+
+// unmarshalPrefix decodes one message from the front of b and returns the
+// remaining bytes.
+func unmarshalPrefix(b []byte) (*Message, []byte, error) {
+	if len(b) < 2 {
+		return nil, nil, fmt.Errorf("%w: missing field count", ErrCorrupt)
+	}
+	n := int(binary.BigEndian.Uint16(b[:2]))
+	b = b[2:]
+	m := New()
+	for i := 0; i < n; i++ {
+		if len(b) < 1 {
+			return nil, nil, fmt.Errorf("%w: truncated field name length", ErrCorrupt)
+		}
+		nameLen := int(b[0])
+		b = b[1:]
+		if len(b) < nameLen+1+4 {
+			return nil, nil, fmt.Errorf("%w: truncated field header", ErrCorrupt)
+		}
+		name := string(b[:nameLen])
+		typ := FieldType(b[nameLen])
+		payloadLen := int(binary.BigEndian.Uint32(b[nameLen+1 : nameLen+5]))
+		b = b[nameLen+5:]
+		if len(b) < payloadLen {
+			return nil, nil, fmt.Errorf("%w: truncated field payload", ErrCorrupt)
+		}
+		payload := b[:payloadLen]
+		b = b[payloadLen:]
+		switch typ {
+		case TypeBytes:
+			m.PutBytes(name, payload)
+		case TypeString:
+			m.PutString(name, string(payload))
+		case TypeInt:
+			if payloadLen != 8 {
+				return nil, nil, fmt.Errorf("%w: int field %q has %d bytes", ErrCorrupt, name, payloadLen)
+			}
+			m.PutInt(name, int64(binary.BigEndian.Uint64(payload)))
+		case TypeAddress:
+			a, err := addr.Decode(payload)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			m.PutAddress(name, a)
+		case TypeAddressList:
+			if payloadLen%addr.EncodedSize != 0 {
+				return nil, nil, fmt.Errorf("%w: address list field %q has %d bytes", ErrCorrupt, name, payloadLen)
+			}
+			list := make(addr.List, 0, payloadLen/addr.EncodedSize)
+			for off := 0; off < payloadLen; off += addr.EncodedSize {
+				a, err := addr.Decode(payload[off:])
+				if err != nil {
+					return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+				}
+				list = append(list, a)
+			}
+			m.PutAddressList(name, list)
+		case TypeMessage:
+			sub, err := Unmarshal(payload)
+			if err != nil {
+				return nil, nil, err
+			}
+			m.PutMessage(name, sub)
+		default:
+			return nil, nil, fmt.Errorf("%w: unknown field type %d", ErrCorrupt, typ)
+		}
+	}
+	return m, b, nil
+}
+
+// MarshaledSize returns the number of bytes Marshal would produce. It is
+// used by the simulated network to charge bandwidth without re-encoding.
+func (m *Message) MarshaledSize() int {
+	size := 2
+	for name, f := range m.fields {
+		size += 1 + len(name) + 1 + 4
+		switch f.typ {
+		case TypeBytes:
+			size += len(f.bytes)
+		case TypeString:
+			size += len(f.str)
+		case TypeInt:
+			size += 8
+		case TypeAddress:
+			size += addr.EncodedSize
+		case TypeAddressList:
+			size += len(f.adrs) * addr.EncodedSize
+		case TypeMessage:
+			size += f.sub.MarshaledSize()
+		}
+	}
+	return size
+}

@@ -1,0 +1,367 @@
+// Package msg implements the ISIS message subsystem described in Section 4.1
+// of the paper. A message is represented as a symbol table containing
+// multiple fields, each having a name, a type, and variable-length data.
+// Fields can be inserted and deleted at will, special system fields carry
+// information such as the address of the sender (which cannot be forged by
+// clients, since only the protocols process sets it), the session id used to
+// match a reply with a pending call, and so on. A field can even contain
+// another message.
+package msg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/addr"
+)
+
+// FieldType enumerates the wire types a field can carry.
+type FieldType uint8
+
+const (
+	// TypeBytes is an opaque byte string.
+	TypeBytes FieldType = iota + 1
+	// TypeString is a UTF-8 string.
+	TypeString
+	// TypeInt is a signed 64-bit integer.
+	TypeInt
+	// TypeAddress is a single ISIS address.
+	TypeAddress
+	// TypeAddressList is a list of ISIS addresses.
+	TypeAddressList
+	// TypeMessage is a nested message.
+	TypeMessage
+)
+
+// String names the field type for diagnostics.
+func (t FieldType) String() string {
+	switch t {
+	case TypeBytes:
+		return "bytes"
+	case TypeString:
+		return "string"
+	case TypeInt:
+		return "int"
+	case TypeAddress:
+		return "address"
+	case TypeAddressList:
+		return "addresses"
+	case TypeMessage:
+		return "message"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// System field names. Fields whose names begin with '@' are reserved for the
+// toolkit and the protocols process; the protection tool strips them from
+// client-supplied messages so that a sender address can never be forged
+// (Section 3.10).
+const (
+	FSender   = "@sender"   // address of the sending process (set by protos)
+	FSession  = "@session"  // session id matching a reply to its pending call
+	FDests    = "@dests"    // destination list of the broadcast
+	FProtocol = "@protocol" // which multicast primitive carried the message
+	FEntry    = "@entry"    // destination entry point
+	FViewID   = "@viewid"   // view in which the message was sent
+	FGroup    = "@group"    // group address the message was sent to
+	FReply    = "@reply"    // set on reply messages: 1 normal, 2 null
+	FMsgID    = "@msgid"    // unique broadcast identifier assigned by protos
+)
+
+// SystemPrefix is the first byte of every reserved field name.
+const SystemPrefix = '@'
+
+// IsSystemField reports whether name is reserved for the toolkit.
+func IsSystemField(name string) bool {
+	return len(name) > 0 && name[0] == SystemPrefix
+}
+
+// field is one entry of the symbol table.
+type field struct {
+	typ   FieldType
+	bytes []byte
+	str   string
+	i     int64
+	adr   addr.Address
+	adrs  addr.List
+	sub   *Message
+}
+
+// Message is a mutable symbol table of named, typed fields. The zero value
+// is not usable; call New.
+type Message struct {
+	fields map[string]field
+}
+
+// New returns an empty message.
+func New() *Message {
+	return &Message{fields: make(map[string]field)}
+}
+
+// Len returns the number of fields in the message.
+func (m *Message) Len() int { return len(m.fields) }
+
+// Has reports whether the named field is present.
+func (m *Message) Has(name string) bool {
+	_, ok := m.fields[name]
+	return ok
+}
+
+// Type returns the type of the named field and whether it exists.
+func (m *Message) Type(name string) (FieldType, bool) {
+	f, ok := m.fields[name]
+	return f.typ, ok
+}
+
+// Delete removes the named field if present.
+func (m *Message) Delete(name string) { delete(m.fields, name) }
+
+// Names returns the field names in sorted order.
+func (m *Message) Names() []string {
+	out := make([]string, 0, len(m.fields))
+	for k := range m.fields {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PutBytes sets a bytes field. The slice is copied.
+func (m *Message) PutBytes(name string, v []byte) *Message {
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	m.fields[name] = field{typ: TypeBytes, bytes: cp}
+	return m
+}
+
+// PutString sets a string field.
+func (m *Message) PutString(name, v string) *Message {
+	m.fields[name] = field{typ: TypeString, str: v}
+	return m
+}
+
+// PutInt sets an integer field.
+func (m *Message) PutInt(name string, v int64) *Message {
+	m.fields[name] = field{typ: TypeInt, i: v}
+	return m
+}
+
+// PutAddress sets an address field.
+func (m *Message) PutAddress(name string, v addr.Address) *Message {
+	m.fields[name] = field{typ: TypeAddress, adr: v}
+	return m
+}
+
+// PutAddressList sets an address list field. The list is copied.
+func (m *Message) PutAddressList(name string, v addr.List) *Message {
+	m.fields[name] = field{typ: TypeAddressList, adrs: v.Clone()}
+	return m
+}
+
+// PutMessage sets a nested message field. The nested message is stored by
+// reference; callers that will keep mutating it should Put a Clone instead.
+func (m *Message) PutMessage(name string, v *Message) *Message {
+	m.fields[name] = field{typ: TypeMessage, sub: v}
+	return m
+}
+
+// Errors returned by the typed getters.
+var (
+	ErrNoField   = errors.New("msg: no such field")
+	ErrWrongType = errors.New("msg: field has a different type")
+)
+
+// Bytes returns the bytes field, or an error if missing or of another type.
+func (m *Message) Bytes(name string) ([]byte, error) {
+	f, ok := m.fields[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoField, name)
+	}
+	if f.typ != TypeBytes {
+		return nil, fmt.Errorf("%w: %q is %v", ErrWrongType, name, f.typ)
+	}
+	return f.bytes, nil
+}
+
+// String returns the string field.
+func (m *Message) String(name string) (string, error) {
+	f, ok := m.fields[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNoField, name)
+	}
+	if f.typ != TypeString {
+		return "", fmt.Errorf("%w: %q is %v", ErrWrongType, name, f.typ)
+	}
+	return f.str, nil
+}
+
+// Int returns the integer field.
+func (m *Message) Int(name string) (int64, error) {
+	f, ok := m.fields[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoField, name)
+	}
+	if f.typ != TypeInt {
+		return 0, fmt.Errorf("%w: %q is %v", ErrWrongType, name, f.typ)
+	}
+	return f.i, nil
+}
+
+// Address returns the address field.
+func (m *Message) Address(name string) (addr.Address, error) {
+	f, ok := m.fields[name]
+	if !ok {
+		return addr.Nil, fmt.Errorf("%w: %q", ErrNoField, name)
+	}
+	if f.typ != TypeAddress {
+		return addr.Nil, fmt.Errorf("%w: %q is %v", ErrWrongType, name, f.typ)
+	}
+	return f.adr, nil
+}
+
+// AddressList returns the address list field.
+func (m *Message) AddressList(name string) (addr.List, error) {
+	f, ok := m.fields[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoField, name)
+	}
+	if f.typ != TypeAddressList {
+		return nil, fmt.Errorf("%w: %q is %v", ErrWrongType, name, f.typ)
+	}
+	return f.adrs, nil
+}
+
+// Message returns the nested message field.
+func (m *Message) Message(name string) (*Message, error) {
+	f, ok := m.fields[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoField, name)
+	}
+	if f.typ != TypeMessage {
+		return nil, fmt.Errorf("%w: %q is %v", ErrWrongType, name, f.typ)
+	}
+	return f.sub, nil
+}
+
+// Convenience getters with defaults, used pervasively by the toolkit where a
+// missing field simply means "use the zero value".
+
+// GetInt returns the integer field or def when absent or mistyped.
+func (m *Message) GetInt(name string, def int64) int64 {
+	if v, err := m.Int(name); err == nil {
+		return v
+	}
+	return def
+}
+
+// GetString returns the string field or def when absent or mistyped.
+func (m *Message) GetString(name, def string) string {
+	if v, err := m.String(name); err == nil {
+		return v
+	}
+	return def
+}
+
+// GetBytes returns the bytes field or nil when absent or mistyped.
+func (m *Message) GetBytes(name string) []byte {
+	if v, err := m.Bytes(name); err == nil {
+		return v
+	}
+	return nil
+}
+
+// GetAddress returns the address field or addr.Nil when absent or mistyped.
+func (m *Message) GetAddress(name string) addr.Address {
+	if v, err := m.Address(name); err == nil {
+		return v
+	}
+	return addr.Nil
+}
+
+// GetAddressList returns the address list field or nil.
+func (m *Message) GetAddressList(name string) addr.List {
+	if v, err := m.AddressList(name); err == nil {
+		return v
+	}
+	return nil
+}
+
+// GetMessage returns the nested message field or nil.
+func (m *Message) GetMessage(name string) *Message {
+	if v, err := m.Message(name); err == nil {
+		return v
+	}
+	return nil
+}
+
+// Sender returns the system sender field (addr.Nil if unset).
+func (m *Message) Sender() addr.Address { return m.GetAddress(FSender) }
+
+// Session returns the system session id (0 if unset).
+func (m *Message) Session() int64 { return m.GetInt(FSession, 0) }
+
+// Group returns the group address the message was multicast to (addr.Nil if
+// it was a point-to-point send).
+func (m *Message) Group() addr.Address { return m.GetAddress(FGroup) }
+
+// StripSystemFields removes every reserved '@' field. The protection tool
+// applies this to messages submitted by clients so system fields can only be
+// set by the toolkit itself.
+func (m *Message) StripSystemFields() {
+	for k := range m.fields {
+		if IsSystemField(k) {
+			delete(m.fields, k)
+		}
+	}
+}
+
+// Clone returns a deep copy of the message.
+func (m *Message) Clone() *Message {
+	out := New()
+	for k, f := range m.fields {
+		switch f.typ {
+		case TypeBytes:
+			out.PutBytes(k, f.bytes)
+		case TypeString:
+			out.PutString(k, f.str)
+		case TypeInt:
+			out.PutInt(k, f.i)
+		case TypeAddress:
+			out.PutAddress(k, f.adr)
+		case TypeAddressList:
+			out.PutAddressList(k, f.adrs)
+		case TypeMessage:
+			out.PutMessage(k, f.sub.Clone())
+		}
+	}
+	return out
+}
+
+// Format renders a human-readable dump of the message, with fields in sorted
+// order; nested messages are rendered inline. Intended for debugging only.
+func (m *Message) Format() string {
+	s := "{"
+	for i, name := range m.Names() {
+		if i > 0 {
+			s += ", "
+		}
+		f := m.fields[name]
+		switch f.typ {
+		case TypeBytes:
+			s += fmt.Sprintf("%s=bytes[%d]", name, len(f.bytes))
+		case TypeString:
+			s += fmt.Sprintf("%s=%q", name, f.str)
+		case TypeInt:
+			s += fmt.Sprintf("%s=%d", name, f.i)
+		case TypeAddress:
+			s += fmt.Sprintf("%s=%v", name, f.adr)
+		case TypeAddressList:
+			s += fmt.Sprintf("%s=%v", name, f.adrs)
+		case TypeMessage:
+			s += fmt.Sprintf("%s=%s", name, f.sub.Format())
+		}
+	}
+	return s + "}"
+}

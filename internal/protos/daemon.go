@@ -1,0 +1,514 @@
+package protos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/fdetect"
+	"repro/internal/msg"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// DeliverFunc receives an application message for a local process. The
+// message carries the toolkit system fields (sender, group, view id,
+// protocol, entry). Delivery callbacks for one process are invoked
+// sequentially, in delivery order.
+type DeliverFunc func(entry addr.EntryID, m *msg.Message)
+
+// ViewFunc receives a membership change notification for a group the
+// process belongs to. It is invoked in order relative to message
+// deliveries, which is what makes the ranking trick of Section 3.2 safe.
+type ViewFunc func(view core.View)
+
+// Config parameterizes a Daemon.
+type Config struct {
+	// Site is this daemon's site identifier.
+	Site addr.SiteID
+	// Incarnation distinguishes restarts of the same site.
+	Incarnation addr.Incarnation
+	// Network is the simulated LAN the site attaches to.
+	Network *simnet.Network
+	// Transport optionally overrides the transport configuration; the zero
+	// value derives it from the network configuration.
+	Transport transport.Config
+	// Detector optionally overrides the failure-detector configuration;
+	// the zero value uses fdetect.DefaultConfig.
+	Detector fdetect.Config
+	// CallTimeout bounds internal request/response interactions (lookups,
+	// coordinator requests, proposal collection). Defaults to 5 s.
+	CallTimeout time.Duration
+	// DisableHeartbeats turns off the failure detector's periodic traffic;
+	// used by benchmarks that want quiet links.
+	DisableHeartbeats bool
+}
+
+// Counters tallies protocol activity; the Table 1 harness reads them before
+// and after each toolkit call to report the multicast cost of the call.
+type Counters struct {
+	CBCASTs       uint64 // CBCAST multicasts initiated at this site
+	ABCASTs       uint64 // ABCAST multicasts initiated at this site
+	GBCASTs       uint64 // GBCAST protocol executions coordinated by this site
+	PointToPoints uint64 // point-to-point sends (replies and direct messages)
+	Delivered     uint64 // application messages delivered to local processes
+	ViewChanges   uint64 // view changes installed at this site
+}
+
+// Errors returned by daemon operations.
+var (
+	ErrClosed        = errors.New("protos: daemon closed")
+	ErrUnknownProc   = errors.New("protos: unknown local process")
+	ErrUnknownGroup  = errors.New("protos: unknown group")
+	ErrNotMember     = errors.New("protos: process is not a member")
+	ErrTimeout       = errors.New("protos: request timed out")
+	ErrDeadProcess   = errors.New("protos: process has failed")
+	ErrEmptyDest     = errors.New("protos: no destinations")
+	ErrBadProtocol   = errors.New("protos: unsupported protocol for destination set")
+	ErrGroupVanished = errors.New("protos: group has no members")
+)
+
+// localProc is one client process registered at this site.
+type localProc struct {
+	addr        addr.Address
+	deliver     DeliverFunc
+	deliverView ViewFunc
+	alive       bool
+	nextSeq     uint64                  // multicast sequence (msg ids)
+	extSeq      map[addr.Address]uint64 // per-destination-group sequence for non-member CBCASTs
+	outstanding int                     // ABCASTs initiated and not yet committed (for flush)
+
+	queue chan func() // per-process delivery queue, drained by one goroutine
+}
+
+// memberState is the per-(group, local member) protocol state.
+type memberState struct {
+	proc   *localProc
+	causal *core.CausalQueue
+	total  *core.TotalQueue
+
+	awaitingState bool     // a joiner that has not yet received the group state
+	held          []func() // deliveries deferred until the state arrives
+	stateRecv     func(block []byte, last bool)
+	stateProv     func() [][]byte
+
+	// redelivered records messages this member received through a GBCAST
+	// flush re-dissemination; when the original copy later drains from the
+	// causal queue it is suppressed so the member does not see it twice.
+	redelivered map[core.MsgID]bool
+}
+
+// groupState is the per-group state kept at every site hosting members.
+// heldPacket is a data packet whose processing is deferred while the group
+// is wedged by a GBCAST flush.
+type heldPacket struct {
+	from addr.SiteID
+	pkt  *msg.Message
+}
+
+type groupState struct {
+	view    core.View
+	members map[addr.Address]*memberState // local members only
+
+	wedged   bool         // a GBCAST flush is in progress
+	heldPkts []heldPacket // data packets held while wedged
+	recent   map[core.MsgID]*msg.Message
+	order    []core.MsgID // insertion order of recent, for bounding
+
+	// Coordinator-side state (only used while this site hosts the acting
+	// coordinator).
+	gbSeq   uint64
+	gbBusy  bool
+	gbQueue []*gbWork
+}
+
+const recentLimit = 256
+
+// abSendState is the initiator-side state of one ABCAST (phase 1 responses
+// still outstanding).
+type abSendState struct {
+	id      core.MsgID
+	group   addr.Address
+	sender  addr.Address
+	waiting map[addr.SiteID]bool
+	targets []addr.SiteID
+	maxPrio uint64
+	packet  *msg.Message
+	done    bool
+}
+
+// pendingJoin remembers the state-transfer receiver callback registered when
+// a local process asked to join a group, so it can be attached to the member
+// state once the view change that adds it is installed.
+type pendingJoin struct {
+	stateRecv func(block []byte, last bool)
+}
+
+// Daemon is the protocols process of one site.
+type Daemon struct {
+	cfg  Config
+	site addr.SiteID
+	gen  *addr.Generator
+	net  *simnet.Network
+	ep   *simnet.Endpoint
+	tr   *transport.Transport
+	det  *fdetect.Detector
+
+	mu          sync.Mutex
+	procs       map[addr.Address]*localProc
+	groups      map[addr.Address]*groupState
+	remoteViews map[addr.Address]core.View
+	nameCache   map[string]addr.Address
+	failedProcs map[addr.Address]bool
+	suspected   map[addr.SiteID]bool
+	monitored   map[addr.SiteID]bool
+	calls       map[int64]chan *msg.Message
+	nextCall    int64
+	pendingAb   map[core.MsgID]*abSendState
+	pendingJoin map[joinKey]pendingJoin
+	siteWatch   []func(fdetect.Event)
+	counters    Counters
+	closed      bool
+
+	wg sync.WaitGroup
+}
+
+// New creates and starts a daemon at the given site.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Network == nil {
+		return nil, errors.New("protos: Config.Network is required")
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 5 * time.Second
+	}
+	trCfg := cfg.Transport
+	if trCfg.MaxPacket == 0 {
+		trCfg = transport.DefaultConfig(cfg.Network.Config())
+	}
+	detCfg := cfg.Detector
+	if detCfg.HeartbeatInterval == 0 {
+		detCfg = fdetect.DefaultConfig()
+	}
+
+	d := &Daemon{
+		cfg:         cfg,
+		site:        cfg.Site,
+		gen:         addr.NewGenerator(cfg.Site, cfg.Incarnation),
+		net:         cfg.Network,
+		procs:       make(map[addr.Address]*localProc),
+		groups:      make(map[addr.Address]*groupState),
+		remoteViews: make(map[addr.Address]core.View),
+		nameCache:   make(map[string]addr.Address),
+		failedProcs: make(map[addr.Address]bool),
+		suspected:   make(map[addr.SiteID]bool),
+		monitored:   make(map[addr.SiteID]bool),
+		calls:       make(map[int64]chan *msg.Message),
+		pendingAb:   make(map[core.MsgID]*abSendState),
+		pendingJoin: make(map[joinKey]pendingJoin),
+	}
+	d.ep = cfg.Network.AddSite(cfg.Site)
+	tr, err := transport.New(d.ep, trCfg, d.handleTransport)
+	if err != nil {
+		cfg.Network.RemoveSite(cfg.Site)
+		return nil, err
+	}
+	d.tr = tr
+	d.det = fdetect.New(cfg.Site, detCfg, d.sendHeartbeat, d.onDetectorEvent)
+	if !cfg.DisableHeartbeats {
+		d.det.Start()
+	}
+	return d, nil
+}
+
+// Site returns the daemon's site id.
+func (d *Daemon) Site() addr.SiteID { return d.site }
+
+// Counters returns a snapshot of the protocol counters.
+func (d *Daemon) Counters() Counters {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.counters
+}
+
+// Close stops the daemon, modelling a site crash: the transport and failure
+// detector stop, and the site detaches from the network. Other sites will
+// detect the crash by timeout.
+func (d *Daemon) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	procs := make([]*localProc, 0, len(d.procs))
+	for _, p := range d.procs {
+		procs = append(procs, p)
+	}
+	d.mu.Unlock()
+
+	if !d.cfg.DisableHeartbeats {
+		d.det.Stop()
+	}
+	d.tr.Close()
+	d.net.RemoveSite(d.site)
+	for _, p := range procs {
+		close(p.queue)
+	}
+	d.wg.Wait()
+}
+
+// RegisterProcess creates a new local process and returns its address. The
+// deliver callback receives application messages; the view callback (which
+// may be nil) receives membership changes of the groups the process joins.
+func (d *Daemon) RegisterProcess(deliver DeliverFunc, view ViewFunc) (addr.Address, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return addr.Nil, ErrClosed
+	}
+	a := d.gen.NextProcess()
+	p := &localProc{
+		addr:        a,
+		deliver:     deliver,
+		deliverView: view,
+		alive:       true,
+		extSeq:      make(map[addr.Address]uint64),
+		queue:       make(chan func(), 1024),
+	}
+	d.procs[a] = p
+	d.wg.Add(1)
+	go d.runProcQueue(p)
+	return a, nil
+}
+
+// runProcQueue drains one process's delivery queue so that its callbacks run
+// sequentially and in order.
+func (d *Daemon) runProcQueue(p *localProc) {
+	defer d.wg.Done()
+	for fn := range p.queue {
+		fn()
+	}
+}
+
+// enqueue schedules a delivery callback for a process. Must be called with
+// d.mu held (so that queue order equals delivery order; the daemon-closed
+// check under the same lock also guarantees the queue channel is never
+// written after Close has closed it).
+func (d *Daemon) enqueue(p *localProc, fn func()) {
+	if !p.alive || d.closed {
+		return
+	}
+	select {
+	case p.queue <- fn:
+	default:
+		// Queue overflow: fall back to a goroutine rather than dropping the
+		// delivery; ordering may suffer under extreme overload but messages
+		// are never lost.
+		go fn()
+	}
+}
+
+// KillProcess simulates the crash of a local process: it stops receiving
+// messages and is removed (by view changes) from every group it belonged
+// to. The local monitoring mechanism detects process crashes immediately
+// (Section 2.1), so unlike a site crash no timeout is involved.
+func (d *Daemon) KillProcess(p addr.Address) error {
+	d.mu.Lock()
+	lp, ok := d.procs[p.Base()]
+	if !ok {
+		d.mu.Unlock()
+		return ErrUnknownProc
+	}
+	if !lp.alive {
+		d.mu.Unlock()
+		return nil
+	}
+	lp.alive = false
+	d.failedProcs[p.Base()] = true
+	// Collect the groups the process belongs to.
+	var affected []addr.Address
+	for gid, gs := range d.groups {
+		if _, isMember := gs.members[p.Base()]; isMember {
+			affected = append(affected, gid)
+		}
+	}
+	d.mu.Unlock()
+
+	for _, gid := range affected {
+		d.requestRemoval(gid, []addr.Address{p.Base()}, gbFail)
+	}
+	return nil
+}
+
+// ProcessAlive reports whether the process is registered and alive.
+func (d *Daemon) ProcessAlive(p addr.Address) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	lp, ok := d.procs[p.Base()]
+	return ok && lp.alive
+}
+
+// WatchSites registers a callback invoked on every failure-detector event
+// (site failure or recovery). Used by the recovery manager and news tools.
+func (d *Daemon) WatchSites(cb func(fdetect.Event)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.siteWatch = append(d.siteWatch, cb)
+}
+
+// ---------------------------------------------------------------------------
+// Transport plumbing and call helper
+
+// sendPacket marshals and transmits a daemon-to-daemon packet.
+func (d *Daemon) sendPacket(to addr.SiteID, p *msg.Message) error {
+	raw, err := p.Marshal()
+	if err != nil {
+		return err
+	}
+	d.observeSite(to)
+	return d.tr.Send(to, raw)
+}
+
+// observeSite starts monitoring a site the daemon has learned about.
+func (d *Daemon) observeSite(s addr.SiteID) {
+	if s == d.site {
+		return
+	}
+	d.mu.Lock()
+	already := d.monitored[s]
+	if !already {
+		d.monitored[s] = true
+	}
+	d.mu.Unlock()
+	if !already {
+		d.det.AddPeer(s)
+	}
+}
+
+// sendHeartbeat is handed to the failure detector.
+func (d *Daemon) sendHeartbeat(to addr.SiteID) {
+	p := msg.New()
+	p.PutInt(fType, ptHeartbeat)
+	p.PutInt(fSite, int64(d.site))
+	_ = d.sendPacket(to, p)
+}
+
+// newCall registers a pending request/response exchange and returns its id
+// and response channel.
+func (d *Daemon) newCall() (int64, chan *msg.Message) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextCall++
+	id := d.nextCall
+	ch := make(chan *msg.Message, 8)
+	d.calls[id] = ch
+	return id, ch
+}
+
+// dropCall removes a pending call.
+func (d *Daemon) dropCall(id int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.calls, id)
+}
+
+// respond delivers a response to a pending call, if it still exists.
+func (d *Daemon) respond(callID int64, m *msg.Message) {
+	d.mu.Lock()
+	ch, ok := d.calls[callID]
+	d.mu.Unlock()
+	if ok {
+		select {
+		case ch <- m:
+		default:
+		}
+	}
+}
+
+// call sends a request to a site and waits for its response or a timeout.
+func (d *Daemon) call(to addr.SiteID, req *msg.Message) (*msg.Message, error) {
+	id, ch := d.newCall()
+	defer d.dropCall(id)
+	req.PutInt(fCall, id)
+	if err := d.sendPacket(to, req); err != nil {
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		if resp.GetInt(fType, 0) == ptError {
+			return nil, fmt.Errorf("protos: remote error: %s", resp.GetString(fErr, "unknown"))
+		}
+		return resp, nil
+	case <-time.After(d.cfg.CallTimeout):
+		return nil, ErrTimeout
+	}
+}
+
+// replyError sends a ptError response for a request.
+func (d *Daemon) replyError(to addr.SiteID, callID int64, why string) {
+	p := msg.New()
+	p.PutInt(fType, ptError)
+	p.PutInt(fCall, callID)
+	p.PutString(fErr, why)
+	_ = d.sendPacket(to, p)
+}
+
+// handleTransport dispatches an incoming daemon-to-daemon packet.
+func (d *Daemon) handleTransport(from addr.SiteID, raw []byte) {
+	p, err := msg.Unmarshal(raw)
+	if err != nil {
+		return
+	}
+	d.observeSite(from)
+	switch p.GetInt(fType, 0) {
+	case ptHeartbeat:
+		d.det.OnHeartbeat(addr.SiteID(p.GetInt(fSite, int64(from))))
+	case ptData:
+		d.handleData(from, p)
+	case ptAbPropose:
+		d.handleAbPropose(from, p)
+	case ptAbCommit:
+		d.handleAbCommit(from, p)
+	case ptGbRequest:
+		d.handleGbRequest(from, p)
+	case ptGbPrepare:
+		d.handleGbPrepare(from, p)
+	case ptGbAck, ptGbDone, ptLookupResp, ptError:
+		d.respond(p.GetInt(fCall, 0), p)
+	case ptGbCommit:
+		d.handleGbCommit(from, p)
+	case ptLookup:
+		d.handleLookup(from, p)
+	case ptStateBlock:
+		d.handleStateBlock(from, p)
+	}
+}
+
+// onDetectorEvent reacts to site failures and recoveries.
+func (d *Daemon) onDetectorEvent(ev fdetect.Event) {
+	d.mu.Lock()
+	switch ev.Kind {
+	case fdetect.SiteFailed:
+		d.suspected[ev.Site] = true
+	case fdetect.SiteRecovered:
+		delete(d.suspected, ev.Site)
+	}
+	watchers := make([]func(fdetect.Event), len(d.siteWatch))
+	copy(watchers, d.siteWatch)
+	d.mu.Unlock()
+
+	for _, w := range watchers {
+		w(ev)
+	}
+	if ev.Kind == fdetect.SiteFailed {
+		d.handleSiteFailure(ev.Site)
+	}
+}
+
+// SuspectedSites returns the sites currently believed failed.
+func (d *Daemon) SuspectedSites() []addr.SiteID {
+	return d.det.Suspected()
+}

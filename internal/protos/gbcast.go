@@ -1,0 +1,717 @@
+package protos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/msg"
+)
+
+// gbWork is one GBCAST to execute: a membership change (join, leave,
+// failure) or a user-level GBCAST (including configuration updates). The
+// group coordinator serializes these per group and runs the two-phase
+// flush/commit protocol for each.
+type gbWork struct {
+	kind      int64
+	gid       addr.Address
+	procs     []addr.Address
+	wantState bool
+	payload   *msg.Message
+	entry     addr.EntryID
+	sender    addr.Address
+	replyTo   addr.SiteID // requester site (0 when local)
+	replyCall int64
+	done      chan *msg.Message // local requester waits here (nil otherwise)
+}
+
+// handleGbRequest processes a request addressed to this site in its role as
+// the group's (acting) coordinator.
+func (d *Daemon) handleGbRequest(from addr.SiteID, p *msg.Message) {
+	w := &gbWork{
+		kind:      p.GetInt(fKind, 0),
+		gid:       p.GetAddress(fGroup),
+		procs:     p.GetAddressList(fProcs),
+		wantState: p.GetInt(fWantState, 0) == 1,
+		payload:   p.GetMessage(fPayload),
+		entry:     addr.EntryID(p.GetInt(fEntry, 0)),
+		sender:    p.GetAddress(fSender),
+		replyTo:   from,
+		replyCall: p.GetInt(fCall, 0),
+	}
+	if err := d.enqueueGb(w); err != nil {
+		d.replyError(from, w.replyCall, err.Error())
+	}
+}
+
+// localGbRequest executes a gb request originated by a local caller and
+// waits for its completion.
+func (d *Daemon) localGbRequest(gid addr.Address, req *msg.Message) (*msg.Message, error) {
+	w := &gbWork{
+		kind:      req.GetInt(fKind, 0),
+		gid:       gid.Base(),
+		procs:     req.GetAddressList(fProcs),
+		wantState: req.GetInt(fWantState, 0) == 1,
+		payload:   req.GetMessage(fPayload),
+		entry:     addr.EntryID(req.GetInt(fEntry, 0)),
+		sender:    req.GetAddress(fSender),
+		done:      make(chan *msg.Message, 1),
+	}
+	if err := d.enqueueGb(w); err != nil {
+		return nil, err
+	}
+	select {
+	case resp := <-w.done:
+		if resp != nil && resp.GetInt(fType, 0) == ptError {
+			return nil, fmt.Errorf("protos: %s", resp.GetString(fErr, "gbcast failed"))
+		}
+		return resp, nil
+	case <-time.After(2 * d.cfg.CallTimeout):
+		return nil, ErrTimeout
+	}
+}
+
+// enqueueGb appends work to the group's queue and starts the per-group
+// worker if it is not already running.
+func (d *Daemon) enqueueGb(w *gbWork) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	gs, ok := d.groups[w.gid]
+	if !ok {
+		return ErrUnknownGroup
+	}
+	gs.gbQueue = append(gs.gbQueue, w)
+	if !gs.gbBusy {
+		gs.gbBusy = true
+		go d.runGbWorker(w.gid)
+	}
+	return nil
+}
+
+// runGbWorker drains one group's GBCAST queue.
+func (d *Daemon) runGbWorker(gid addr.Address) {
+	for {
+		d.mu.Lock()
+		gs, ok := d.groups[gid]
+		if !ok || len(gs.gbQueue) == 0 {
+			if ok {
+				gs.gbBusy = false
+			}
+			d.mu.Unlock()
+			return
+		}
+		w := gs.gbQueue[0]
+		gs.gbQueue = gs.gbQueue[1:]
+		d.mu.Unlock()
+		d.executeGb(w)
+	}
+}
+
+// executeGb runs the two-phase GBCAST protocol for one unit of work.
+func (d *Daemon) executeGb(w *gbWork) {
+	d.mu.Lock()
+	gs, ok := d.groups[w.gid]
+	if !ok {
+		d.mu.Unlock()
+		d.gbReply(w, nil, ErrUnknownGroup.Error())
+		return
+	}
+	oldView := gs.view.Clone()
+	gs.gbSeq++
+	seq := gs.gbSeq
+	d.counters.GBCASTs++
+	d.mu.Unlock()
+
+	// Skip no-op membership changes (e.g. a failure already handled).
+	if w.kind == gbFail || w.kind == gbLeave {
+		all := true
+		for _, p := range w.procs {
+			if oldView.Contains(p) {
+				all = false
+				break
+			}
+		}
+		if all {
+			resp := msg.New()
+			resp.PutMessage(fView, encodeView(oldView))
+			d.gbReply(w, resp, "")
+			return
+		}
+	}
+
+	// Phase 1: wedge every member site of the old view and collect pending
+	// state reports.
+	prepare := msg.New()
+	prepare.PutInt(fType, ptGbPrepare)
+	prepare.PutAddress(fGroup, w.gid)
+	prepare.PutInt(fGbID, int64(seq))
+	prepare.PutInt(fViewID, int64(oldView.ID))
+
+	reports := make(map[addr.SiteID]pendingReport)
+	var repMu sync.Mutex
+	var wg sync.WaitGroup
+	for _, site := range oldView.SitesOf() {
+		if site == d.site {
+			rep := d.prepareLocal(w.gid)
+			repMu.Lock()
+			reports[d.site] = rep
+			repMu.Unlock()
+			continue
+		}
+		d.mu.Lock()
+		dead := d.suspected[site]
+		d.mu.Unlock()
+		if dead {
+			continue
+		}
+		wg.Add(1)
+		go func(site addr.SiteID) {
+			defer wg.Done()
+			resp, err := d.call(site, prepare.Clone())
+			if err != nil {
+				return // treat as failed; its members will be removed later
+			}
+			repMu.Lock()
+			reports[site] = decodePendingReport(resp.GetMessage(fPending))
+			repMu.Unlock()
+		}(site)
+	}
+	wg.Wait()
+
+	// Compute the new view.
+	newView := oldView
+	switch w.kind {
+	case gbJoin:
+		newView = oldView.WithJoined(w.procs...)
+	case gbLeave, gbFail:
+		newView = oldView.WithRemoved(w.procs...)
+	case gbUser, gbConfigHint:
+		newView = oldView // unchanged; the GBCAST only carries a payload
+	}
+
+	// Reconcile pending state across members so that the atomicity rule
+	// holds: an ABCAST committed anywhere is committed everywhere; an
+	// ABCAST from a failed sender that no member committed is discarded; a
+	// message delivered at some member but missed by another is
+	// re-disseminated before the GBCAST point.
+	rec := reconcile(reports, w.kind == gbFail, w.procs)
+
+	// Phase 2: commit at every member site of old and new views.
+	commit := msg.New()
+	commit.PutInt(fType, ptGbCommit)
+	commit.PutAddress(fGroup, w.gid)
+	commit.PutInt(fGbID, int64(seq))
+	commit.PutInt(fKind, w.kind)
+	commit.PutAddressList(fProcs, w.procs)
+	commit.PutMessage(fView, encodeView(newView))
+	commit.PutMessage(fRebcast, encodePendingReport(rec))
+	if w.wantState {
+		commit.PutInt(fWantState, 1)
+	}
+	if w.payload != nil {
+		commit.PutMessage(fPayload, w.payload)
+		commit.PutInt(fEntry, int64(w.entry))
+		commit.PutAddress(fSender, w.sender)
+	}
+
+	targets := map[addr.SiteID]bool{}
+	for _, s := range oldView.SitesOf() {
+		targets[s] = true
+	}
+	for _, s := range newView.SitesOf() {
+		targets[s] = true
+	}
+	for site := range targets {
+		if site == d.site {
+			continue
+		}
+		_ = d.sendPacket(site, commit.Clone())
+	}
+	d.applyGbCommit(d.site, commit)
+
+	resp := msg.New()
+	resp.PutMessage(fView, encodeView(newView))
+	d.gbReply(w, resp, "")
+}
+
+// gbReply delivers the coordinator's final answer to whoever asked for the
+// GBCAST.
+func (d *Daemon) gbReply(w *gbWork, resp *msg.Message, errText string) {
+	if w.done != nil {
+		if errText != "" {
+			resp = msg.New()
+			resp.PutInt(fType, ptError)
+			resp.PutString(fErr, errText)
+			// localGbRequest treats any response as success; encode errors
+			// as a missing view, which callers check.
+		}
+		select {
+		case w.done <- resp:
+		default:
+		}
+		return
+	}
+	if w.replyTo == 0 && w.replyCall == 0 {
+		return // fire-and-forget internal work (failure removals)
+	}
+	if errText != "" {
+		d.replyError(w.replyTo, w.replyCall, errText)
+		return
+	}
+	out := resp.Clone()
+	out.PutInt(fType, ptGbDone)
+	out.PutInt(fCall, w.replyCall)
+	_ = d.sendPacket(w.replyTo, out)
+}
+
+// reconcile merges the member sites' pending reports into the rebroadcast
+// instructions carried by the commit.
+func reconcile(reports map[addr.SiteID]pendingReport, removingFailed bool, removed []addr.Address) pendingReport {
+	type abAgg struct {
+		committed bool
+		priority  uint64
+		packet    *msg.Message
+	}
+	abs := make(map[core.MsgID]*abAgg)
+	recentCount := make(map[core.MsgID]int)
+	recentPkt := make(map[core.MsgID]*msg.Message)
+	removedSet := make(map[addr.Address]bool)
+	for _, p := range removed {
+		removedSet[p.Base()] = true
+	}
+
+	for _, rep := range reports {
+		for _, a := range rep.Abcasts {
+			agg := abs[a.ID]
+			if agg == nil {
+				agg = &abAgg{}
+				abs[a.ID] = agg
+			}
+			if a.Packet != nil && agg.packet == nil {
+				agg.packet = a.Packet
+			}
+			if a.Committed {
+				agg.committed = true
+				if a.Priority > agg.priority {
+					agg.priority = a.Priority
+				}
+			}
+		}
+		for _, r := range rep.Recent {
+			recentCount[r.ID]++
+			if r.Packet != nil && recentPkt[r.ID] == nil {
+				recentPkt[r.ID] = r.Packet
+			}
+		}
+	}
+
+	var out pendingReport
+	for id, agg := range abs {
+		switch {
+		case agg.committed:
+			out.Abcasts = append(out.Abcasts, abPendingWire{
+				ID: id, Committed: true, Priority: agg.priority, Packet: agg.packet,
+			})
+		case removingFailed && removedSet[id.Sender.Base()]:
+			// The sender failed and no member learned a final priority:
+			// the "none" branch of the atomicity rule — discard everywhere.
+			out.Abcasts = append(out.Abcasts, abPendingWire{ID: id, Committed: false})
+		}
+	}
+	// A message delivered at some member sites but not all of them must be
+	// re-disseminated so every survivor delivers it before the GBCAST point.
+	nSites := len(reports)
+	for id, count := range recentCount {
+		if count < nSites {
+			out.Recent = append(out.Recent, recentWire{ID: id, Packet: recentPkt[id]})
+		}
+	}
+	return out
+}
+
+// prepareLocal wedges the group at this site and returns its pending-state
+// report (the coordinator's own contribution to phase 1).
+func (d *Daemon) prepareLocal(gid addr.Address) pendingReport {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	gs, ok := d.groups[gid]
+	if !ok {
+		return pendingReport{}
+	}
+	gs.wedged = true
+	return d.buildReportLocked(gs)
+}
+
+// buildReportLocked summarises the pending and recently delivered messages
+// of every local member. Caller holds d.mu.
+func (d *Daemon) buildReportLocked(gs *groupState) pendingReport {
+	var rep pendingReport
+	seenAb := make(map[core.MsgID]bool)
+	for _, ms := range gs.members {
+		for _, p := range ms.total.Pending() {
+			if seenAb[p.ID] {
+				continue
+			}
+			seenAb[p.ID] = true
+			var pkt *msg.Message
+			if m, ok := p.Payload.(*msg.Message); ok {
+				pkt = m
+			}
+			rep.Abcasts = append(rep.Abcasts, abPendingWire{
+				ID: p.ID, Committed: p.Committed, Priority: p.Priority, Packet: pkt,
+			})
+		}
+	}
+	for _, id := range gs.order {
+		rep.Recent = append(rep.Recent, recentWire{ID: id, Packet: gs.recent[id]})
+	}
+	return rep
+}
+
+// handleGbPrepare processes phase 1 at a non-coordinator member site.
+func (d *Daemon) handleGbPrepare(from addr.SiteID, p *msg.Message) {
+	gid := p.GetAddress(fGroup)
+	rep := d.prepareLocal(gid.Base())
+	resp := msg.New()
+	resp.PutInt(fType, ptGbAck)
+	resp.PutInt(fCall, p.GetInt(fCall, 0))
+	resp.PutMessage(fPending, encodePendingReport(rep))
+	_ = d.sendPacket(from, resp)
+}
+
+// handleGbCommit processes phase 2 arriving from a remote coordinator.
+func (d *Daemon) handleGbCommit(from addr.SiteID, p *msg.Message) {
+	d.applyGbCommit(from, p)
+}
+
+// applyGbCommit installs the effect of a GBCAST at this site: re-delivers
+// reconciled messages, applies the membership change or delivers the user
+// payload, notifies local members, and unwedges the group.
+func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
+	gid := p.GetAddress(fGroup)
+	kind := p.GetInt(fKind, 0)
+	newView := decodeView(p.GetMessage(fView))
+	rec := decodePendingReport(p.GetMessage(fRebcast))
+	procs := p.GetAddressList(fProcs)
+	wantState := p.GetInt(fWantState, 0) == 1
+
+	d.mu.Lock()
+	gs, hosted := d.groups[gid.Base()]
+	hostsNewMember := false
+	for _, m := range newView.Members {
+		if m.Site == d.site {
+			if _, ok := d.procs[m.Base()]; ok {
+				hostsNewMember = true
+			}
+		}
+	}
+	if !hosted {
+		if !hostsNewMember {
+			// We host nobody in this group: just refresh the cached view.
+			d.mu.Unlock()
+			d.cacheRemoteView(newView)
+			return
+		}
+		gs = &groupState{
+			view:    newView.Clone(),
+			members: make(map[addr.Address]*memberState),
+			recent:  make(map[core.MsgID]*msg.Message),
+		}
+		d.groups[gid.Base()] = gs
+		if newView.Name != "" {
+			d.nameCache[newView.Name] = gid.Base()
+		}
+	}
+
+	// Step 1: re-disseminated messages are delivered before the GBCAST
+	// point, to every member of the *old* local view, skipping anything
+	// already delivered here.
+	for _, rc := range rec.Recent {
+		if rc.Packet == nil || gs.recent[rc.ID] != nil {
+			continue
+		}
+		d.recordRecentLocked(gs, rc.ID, rc.Packet)
+		for _, ms := range gs.members {
+			if ms.redelivered == nil {
+				ms.redelivered = make(map[core.MsgID]bool)
+			}
+			ms.redelivered[rc.ID] = true
+			d.deliverDataLocked(ms, rc.Packet)
+		}
+	}
+	for _, ab := range rec.Abcasts {
+		for _, ms := range gs.members {
+			if ab.Committed {
+				var payload any = ab.Packet
+				for _, del := range ms.total.ForceCommit(ab.ID, payload, ab.Priority) {
+					if pkt, ok := del.Payload.(*msg.Message); ok && pkt != nil {
+						d.recordRecentLocked(gs, del.ID, pkt)
+						d.deliverDataLocked(ms, pkt)
+					}
+				}
+			} else {
+				ms.total.Discard(ab.ID)
+			}
+		}
+	}
+
+	// Step 2: apply the membership change or deliver the user payload.
+	switch kind {
+	case gbUser, gbConfigHint:
+		payload := p.GetMessage(fPayload)
+		entry := addr.EntryID(p.GetInt(fEntry, 0))
+		sender := p.GetAddress(fSender)
+		if payload != nil {
+			for _, ms := range gs.members {
+				d.deliverPayloadLocked(gs, ms, sender, GBCAST, entry, payload)
+			}
+		}
+	case gbJoin, gbLeave, gbFail, 0:
+		d.applyViewChangeLocked(gs, newView, kind, procs, wantState)
+	}
+
+	// Step 3: unwedge and reprocess any data packets held during the flush.
+	gs.wedged = false
+	held := gs.heldPkts
+	gs.heldPkts = nil
+
+	// A site left with no members drops the group state entirely.
+	if len(gs.members) == 0 {
+		delete(d.groups, gid.Base())
+		d.remoteViews[gid.Base()] = newView.Clone()
+	}
+	d.mu.Unlock()
+
+	for _, h := range held {
+		d.dispatchHeld(h)
+	}
+}
+
+// dispatchHeld reprocesses a packet whose handling was deferred while the
+// group was wedged, routing it by its packet type (data packets and ABCAST
+// commits can both be held).
+func (d *Daemon) dispatchHeld(h heldPacket) {
+	switch h.pkt.GetInt(fType, 0) {
+	case ptAbCommit:
+		d.handleAbCommit(h.from, h.pkt)
+	default:
+		d.handleData(h.from, h.pkt)
+	}
+}
+
+// applyViewChangeLocked installs a new membership view. Caller holds d.mu.
+func (d *Daemon) applyViewChangeLocked(gs *groupState, newView core.View, kind int64, procs []addr.Address, wantState bool) {
+	if newView.ID <= gs.view.ID && !gs.view.Equal(core.View{}) && newView.ID != 0 {
+		if newView.ID < gs.view.ID {
+			return // stale commit
+		}
+	}
+	old := gs.view
+	gs.view = newView.Clone()
+	d.counters.ViewChanges++
+
+	if kind == gbFail {
+		for _, pr := range procs {
+			d.failedProcs[pr.Base()] = true
+		}
+	}
+
+	// Drop members no longer in the view.
+	for a := range gs.members {
+		if !newView.Contains(a) {
+			delete(gs.members, a)
+		}
+	}
+	// Add newly hosted members.
+	joinedHere := make([]*memberState, 0, 2)
+	for _, m := range newView.Members {
+		if m.Site != d.site {
+			continue
+		}
+		if _, ok := gs.members[m.Base()]; ok {
+			continue
+		}
+		lp, ok := d.procs[m.Base()]
+		if !ok || !lp.alive {
+			continue
+		}
+		ms := &memberState{
+			proc:   lp,
+			causal: core.NewCausalQueue(newView.RankOf(m), newView.Size()),
+			total:  core.NewTotalQueue(0),
+		}
+		// Was this an explicit join from this site with a state request?
+		key := joinKey{gs.view.Group, m.Base()}
+		if pj, ok := d.pendingJoin[key]; ok {
+			ms.stateRecv = pj.stateRecv
+			delete(d.pendingJoin, key)
+		}
+		if wantState && !old.Contains(m) && contains(procs, m) {
+			ms.awaitingState = true
+		}
+		gs.members[m.Base()] = ms
+		joinedHere = append(joinedHere, ms)
+	}
+	_ = joinedHere
+	// Continuing members: reset per-view ordering state to their new rank.
+	for a, ms := range gs.members {
+		if old.Contains(a) {
+			ms.causal.InstallView(newView.RankOf(a), newView.Size())
+		}
+	}
+
+	// Notify every local member of the new view, in order relative to
+	// message deliveries.
+	v := newView.Clone()
+	for _, ms := range gs.members {
+		if ms.proc.deliverView == nil {
+			continue
+		}
+		cb := ms.proc.deliverView
+		d.enqueueMember(ms, func() { cb(v) })
+	}
+
+	// State transfer: if this site hosts the oldest member and the change
+	// added members that asked for state, capture and ship the state from
+	// the oldest member's task queue (so the snapshot reflects exactly the
+	// deliveries that precede the new view).
+	if wantState && kind == gbJoin && newView.Size() > 0 {
+		oldest := newView.Coordinator()
+		if oldest.Site == d.site && !contains(procs, oldest) {
+			if ms, ok := gs.members[oldest.Base()]; ok {
+				gid := newView.Group
+				joiners := append([]addr.Address(nil), procs...)
+				prov := ms.stateProv
+				d.enqueue(ms.proc, func() { d.sendStateBlocks(gid, joiners, prov) })
+			}
+		}
+	}
+}
+
+func contains(list []addr.Address, a addr.Address) bool {
+	for _, x := range list {
+		if x.Base() == a.Base() {
+			return true
+		}
+	}
+	return false
+}
+
+// sendStateBlocks captures the group state from the provider and ships it to
+// each joiner's site. Runs on the providing member's task queue.
+func (d *Daemon) sendStateBlocks(gid addr.Address, joiners []addr.Address, provider func() [][]byte) {
+	var blocks [][]byte
+	if provider != nil {
+		blocks = provider()
+	}
+	for _, j := range joiners {
+		if len(blocks) == 0 {
+			pkt := msg.New()
+			pkt.PutInt(fType, ptStateBlock)
+			pkt.PutAddress(fGroup, gid)
+			pkt.PutAddress(fSender, j)
+			pkt.PutInt(fStateLast, 1)
+			_ = d.sendPacket(j.Site, pkt)
+			continue
+		}
+		for i, b := range blocks {
+			pkt := msg.New()
+			pkt.PutInt(fType, ptStateBlock)
+			pkt.PutAddress(fGroup, gid)
+			pkt.PutAddress(fSender, j)
+			pkt.PutBytes(fStateData, b)
+			if i == len(blocks)-1 {
+				pkt.PutInt(fStateLast, 1)
+			}
+			_ = d.sendPacket(j.Site, pkt)
+		}
+	}
+}
+
+// handleStateBlock delivers a state-transfer block to a joining member and,
+// on the final block, releases any deliveries held while the transfer was in
+// progress.
+func (d *Daemon) handleStateBlock(from addr.SiteID, p *msg.Message) {
+	gid := p.GetAddress(fGroup)
+	target := p.GetAddress(fSender)
+	data := p.GetBytes(fStateData)
+	last := p.GetInt(fStateLast, 0) == 1
+
+	d.mu.Lock()
+	gs, ok := d.groups[gid.Base()]
+	if !ok {
+		d.mu.Unlock()
+		return
+	}
+	ms, ok := gs.members[target.Base()]
+	if !ok {
+		d.mu.Unlock()
+		return
+	}
+	recv := ms.stateRecv
+	if recv != nil && (len(data) > 0 || last) {
+		cp := append([]byte(nil), data...)
+		d.enqueue(ms.proc, func() { recv(cp, last) })
+	}
+	var held []func()
+	if last {
+		ms.awaitingState = false
+		held = ms.held
+		ms.held = nil
+	}
+	for _, fn := range held {
+		d.enqueue(ms.proc, fn)
+	}
+	d.mu.Unlock()
+}
+
+// handleSiteFailure reacts to the failure detector declaring a site dead:
+// ABCASTs waiting on its proposals complete without it, and if this daemon
+// hosts the acting coordinator of a group with members at the dead site, it
+// initiates their removal.
+func (d *Daemon) handleSiteFailure(s addr.SiteID) {
+	d.mu.Lock()
+	var toFinish []*abSendState
+	for _, st := range d.pendingAb {
+		if st.waiting[s] {
+			delete(st.waiting, s)
+			if len(st.waiting) == 0 && !st.done {
+				st.done = true
+				toFinish = append(toFinish, st)
+			}
+		}
+	}
+	type removal struct {
+		gid   addr.Address
+		procs []addr.Address
+	}
+	var removals []removal
+	for gid, gs := range d.groups {
+		var atSite []addr.Address
+		for _, m := range gs.view.Members {
+			if m.Site == s {
+				atSite = append(atSite, m)
+			}
+		}
+		if len(atSite) == 0 {
+			continue
+		}
+		coord := d.actingCoordinator(gs.view)
+		if !coord.IsNil() && coord.Site == d.site {
+			removals = append(removals, removal{gid, atSite})
+		}
+	}
+	d.mu.Unlock()
+
+	for _, st := range toFinish {
+		d.finishAbcast(st)
+	}
+	for _, r := range removals {
+		d.requestRemoval(r.gid, r.procs, gbFail)
+	}
+}

@@ -1,0 +1,424 @@
+package protos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/msg"
+)
+
+// joinKey identifies a pending join (group, joiner).
+type joinKey struct {
+	gid    addr.Address
+	joiner addr.Address
+}
+
+// CreateGroup creates a new process group with the given symbolic name and
+// the creator as its only (and therefore oldest) member. The creator's view
+// callback is invoked with the initial view.
+func (d *Daemon) CreateGroup(creator addr.Address, name string) (core.View, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return core.View{}, ErrClosed
+	}
+	lp, ok := d.procs[creator.Base()]
+	if !ok {
+		return core.View{}, ErrUnknownProc
+	}
+	if !lp.alive {
+		return core.View{}, ErrDeadProcess
+	}
+	gid := d.gen.NextGroup()
+	view := core.View{
+		Group:   gid,
+		Name:    name,
+		ID:      1,
+		Members: []addr.Address{creator.Base()},
+	}
+	gs := &groupState{
+		view:    view,
+		members: make(map[addr.Address]*memberState),
+		recent:  make(map[core.MsgID]*msg.Message),
+	}
+	gs.members[creator.Base()] = &memberState{
+		proc:   lp,
+		causal: core.NewCausalQueue(0, 1),
+		total:  core.NewTotalQueue(0),
+	}
+	d.groups[gid] = gs
+	if name != "" {
+		d.nameCache[name] = gid
+	}
+	d.counters.ViewChanges++
+	v := view.Clone()
+	if lp.deliverView != nil {
+		cb := lp.deliverView
+		d.enqueue(lp, func() { cb(v) })
+	}
+	return view.Clone(), nil
+}
+
+// CurrentView returns the daemon's notion of the group's current view: the
+// authoritative local view when the site hosts members, or the cached view
+// learned from lookups otherwise.
+func (d *Daemon) CurrentView(gid addr.Address) (core.View, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if gs, ok := d.groups[gid.Base()]; ok {
+		return gs.view.Clone(), true
+	}
+	if v, ok := d.remoteViews[gid.Base()]; ok {
+		return v.Clone(), true
+	}
+	return core.View{}, false
+}
+
+// GroupsHosted returns the groups with members at this site.
+func (d *Daemon) GroupsHosted() []addr.Address {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]addr.Address, 0, len(d.groups))
+	for gid := range d.groups {
+		out = append(out, gid)
+	}
+	return out
+}
+
+// Lookup resolves a symbolic group name to its group address, querying other
+// sites when the group is not hosted locally (the paper's pg_lookup). The
+// current view of the group is cached as a side effect.
+func (d *Daemon) Lookup(name string) (addr.Address, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return addr.Nil, ErrClosed
+	}
+	// A locally hosted group, or a previously resolved name.
+	if gid, ok := d.nameCache[name]; ok {
+		if _, hosted := d.groups[gid]; hosted {
+			d.mu.Unlock()
+			return gid, nil
+		}
+		if _, cached := d.remoteViews[gid]; cached {
+			d.mu.Unlock()
+			return gid, nil
+		}
+	}
+	for gid, gs := range d.groups {
+		if gs.view.Name == name {
+			d.nameCache[name] = gid
+			d.mu.Unlock()
+			return gid, nil
+		}
+	}
+	d.mu.Unlock()
+	view, err := d.lookupRemote(name, addr.Nil)
+	if err != nil {
+		return addr.Nil, err
+	}
+	return view.Group, nil
+}
+
+// LookupView resolves a name and returns the (possibly cached) view.
+func (d *Daemon) LookupView(name string) (core.View, error) {
+	gid, err := d.Lookup(name)
+	if err != nil {
+		return core.View{}, err
+	}
+	if v, ok := d.CurrentView(gid); ok {
+		return v, nil
+	}
+	return d.lookupRemote(name, gid)
+}
+
+// refreshView fetches a fresh copy of a group's view from the sites that
+// host it. Used when a cached view appears stale (e.g. its coordinator has
+// stopped responding).
+func (d *Daemon) refreshView(gid addr.Address) (core.View, error) {
+	return d.lookupRemote("", gid)
+}
+
+// RefreshGroupView returns the group's current view, bypassing any cached
+// copy when the group is not hosted locally. Reply collection uses it to
+// notice that destinations have failed while the caller was waiting.
+func (d *Daemon) RefreshGroupView(gid addr.Address) (core.View, error) {
+	d.mu.Lock()
+	if gs, ok := d.groups[gid.Base()]; ok {
+		v := gs.view.Clone()
+		d.mu.Unlock()
+		return v, nil
+	}
+	d.mu.Unlock()
+	return d.lookupRemote("", gid)
+}
+
+// lookupRemote queries every other attached site for a group, by name or by
+// group id, and caches the first positive answer.
+func (d *Daemon) lookupRemote(name string, gid addr.Address) (core.View, error) {
+	callID, ch := d.newCall()
+	defer d.dropCall(callID)
+
+	sites := d.net.Sites()
+	asked := 0
+	for _, s := range sites {
+		if s == d.site {
+			continue
+		}
+		req := msg.New()
+		req.PutInt(fType, ptLookup)
+		req.PutInt(fCall, callID)
+		if name != "" {
+			req.PutString(fName, name)
+		}
+		if !gid.IsNil() {
+			req.PutAddress(fGroup, gid)
+		}
+		if err := d.sendPacket(s, req); err == nil {
+			asked++
+		}
+	}
+	if asked == 0 {
+		return core.View{}, fmt.Errorf("%w: %q", ErrUnknownGroup, name)
+	}
+	deadline := time.After(d.cfg.CallTimeout)
+	negatives := 0
+	for {
+		select {
+		case resp := <-ch:
+			if resp.GetInt(fType, 0) == ptLookupResp && resp.GetInt("found", 0) == 1 {
+				view := decodeView(resp.GetMessage(fView))
+				d.cacheRemoteView(view)
+				return view, nil
+			}
+			negatives++
+			if negatives >= asked {
+				return core.View{}, fmt.Errorf("%w: %q", ErrUnknownGroup, name)
+			}
+		case <-deadline:
+			return core.View{}, fmt.Errorf("%w: lookup %q", ErrTimeout, name)
+		}
+	}
+}
+
+// cacheRemoteView stores a view learned from another site.
+func (d *Daemon) cacheRemoteView(v core.View) {
+	if v.Group.IsNil() {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, hosted := d.groups[v.Group]; hosted {
+		return
+	}
+	if old, ok := d.remoteViews[v.Group]; !ok || v.ID >= old.ID {
+		d.remoteViews[v.Group] = v.Clone()
+		if v.Name != "" {
+			d.nameCache[v.Name] = v.Group
+		}
+	}
+}
+
+// handleLookup answers a name/gid lookup from another site.
+func (d *Daemon) handleLookup(from addr.SiteID, p *msg.Message) {
+	name := p.GetString(fName, "")
+	gid := p.GetAddress(fGroup)
+	resp := msg.New()
+	resp.PutInt(fType, ptLookupResp)
+	resp.PutInt(fCall, p.GetInt(fCall, 0))
+	d.mu.Lock()
+	var found *core.View
+	if !gid.IsNil() {
+		if gs, ok := d.groups[gid.Base()]; ok {
+			v := gs.view.Clone()
+			found = &v
+		}
+	}
+	if found == nil && name != "" {
+		for _, gs := range d.groups {
+			if gs.view.Name == name {
+				v := gs.view.Clone()
+				found = &v
+				break
+			}
+		}
+	}
+	d.mu.Unlock()
+	if found != nil {
+		resp.PutInt("found", 1)
+		resp.PutMessage(fView, encodeView(*found))
+	} else {
+		resp.PutInt("found", 0)
+	}
+	_ = d.sendPacket(from, resp)
+}
+
+// JoinOptions configures a Join call.
+type JoinOptions struct {
+	// WantState requests a state transfer from the group's oldest member;
+	// deliveries to the joiner are held until the transfer completes
+	// (Section 3.8 "State transfer").
+	WantState bool
+	// StateReceiver receives the transferred state blocks. Required when
+	// WantState is set if the application wants the data; if nil the
+	// blocks are discarded (but delivery is still held until the transfer
+	// finishes, preserving the virtual-synchrony cut).
+	StateReceiver func(block []byte, last bool)
+	// Credentials is an opaque string checked by the group's join
+	// validation routine (the protection tool), if one is installed.
+	Credentials string
+}
+
+// Join adds a local process to an existing group (the paper's pg_join /
+// join_and_xfer). It returns the first view that includes the new member.
+func (d *Daemon) Join(joiner addr.Address, gid addr.Address, opts JoinOptions) (core.View, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return core.View{}, ErrClosed
+	}
+	lp, ok := d.procs[joiner.Base()]
+	if !ok {
+		d.mu.Unlock()
+		return core.View{}, ErrUnknownProc
+	}
+	if !lp.alive {
+		d.mu.Unlock()
+		return core.View{}, ErrDeadProcess
+	}
+	if opts.WantState || opts.StateReceiver != nil {
+		d.pendingJoin[joinKey{gid.Base(), joiner.Base()}] = pendingJoin{stateRecv: opts.StateReceiver}
+	}
+	d.mu.Unlock()
+
+	req := msg.New()
+	req.PutInt(fType, ptGbRequest)
+	req.PutInt(fKind, gbJoin)
+	req.PutAddress(fGroup, gid.Base())
+	req.PutAddressList(fProcs, addr.List{joiner.Base()})
+	req.PutAddress(fSender, joiner.Base())
+	req.PutString(fName, opts.Credentials)
+	if opts.WantState {
+		req.PutInt(fWantState, 1)
+	}
+	resp, err := d.coordinatorCall(gid, req)
+	if err != nil {
+		d.mu.Lock()
+		delete(d.pendingJoin, joinKey{gid.Base(), joiner.Base()})
+		d.mu.Unlock()
+		return core.View{}, err
+	}
+	return decodeView(resp.GetMessage(fView)), nil
+}
+
+// Leave removes a local process from a group voluntarily (pg_leave).
+func (d *Daemon) Leave(member addr.Address, gid addr.Address) error {
+	req := msg.New()
+	req.PutInt(fType, ptGbRequest)
+	req.PutInt(fKind, gbLeave)
+	req.PutAddress(fGroup, gid.Base())
+	req.PutAddressList(fProcs, addr.List{member.Base()})
+	req.PutAddress(fSender, member.Base())
+	_, err := d.coordinatorCall(gid, req)
+	return err
+}
+
+// SetStateProvider registers the routine the oldest member uses to encode
+// the group state for a joining member. Providers return the state as a
+// series of blocks.
+func (d *Daemon) SetStateProvider(member, gid addr.Address, provider func() [][]byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	gs, ok := d.groups[gid.Base()]
+	if !ok {
+		return ErrUnknownGroup
+	}
+	ms, ok := gs.members[member.Base()]
+	if !ok {
+		return ErrNotMember
+	}
+	ms.stateProv = provider
+	return nil
+}
+
+// actingCoordinator returns the oldest member of the view whose site is not
+// suspected and that is not known to have failed. Caller holds d.mu.
+func (d *Daemon) actingCoordinator(v core.View) addr.Address {
+	for _, m := range v.Members {
+		if d.suspected[m.Site] {
+			continue
+		}
+		if d.failedProcs[m.Base()] {
+			continue
+		}
+		return m
+	}
+	return addr.Nil
+}
+
+// coordinatorCall routes a gbRequest to the group's acting coordinator and
+// waits for its gbDone response, retrying with a refreshed view if the
+// coordinator cannot be reached (it may have failed).
+func (d *Daemon) coordinatorCall(gid addr.Address, req *msg.Message) (*msg.Message, error) {
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		view, ok := d.CurrentView(gid)
+		if !ok || view.Size() == 0 {
+			if v, err := d.refreshView(gid); err == nil {
+				view = v
+			} else {
+				lastErr = err
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+		}
+		d.mu.Lock()
+		coord := d.actingCoordinator(view)
+		d.mu.Unlock()
+		if coord.IsNil() {
+			lastErr = ErrGroupVanished
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		if coord.Site == d.site {
+			// Execute locally: enqueue the work and wait for completion.
+			resp, err := d.localGbRequest(gid, req)
+			if err == nil {
+				return resp, nil
+			}
+			lastErr = err
+		} else {
+			resp, err := d.call(coord.Site, req.Clone())
+			if err == nil {
+				return resp, nil
+			}
+			lastErr = err
+			// The coordinator may have failed: force a view refresh next
+			// time round.
+			d.mu.Lock()
+			delete(d.remoteViews, gid.Base())
+			d.mu.Unlock()
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if lastErr == nil {
+		lastErr = ErrTimeout
+	}
+	return nil, lastErr
+}
+
+// requestRemoval initiates removal of members (voluntarily or by failure)
+// from a group. It is asynchronous; the resulting view change propagates
+// through the normal GBCAST path.
+func (d *Daemon) requestRemoval(gid addr.Address, procs []addr.Address, kind int64) {
+	req := msg.New()
+	req.PutInt(fType, ptGbRequest)
+	req.PutInt(fKind, kind)
+	req.PutAddress(fGroup, gid.Base())
+	req.PutAddressList(fProcs, procs)
+	go func() {
+		_, _ = d.coordinatorCall(gid, req)
+	}()
+}

@@ -1,0 +1,686 @@
+package protos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/msg"
+)
+
+// fRelay marks a group multicast submitted by a non-member sender; such
+// multicasts are routed to the group's coordinator site, which fans them out
+// using its authoritative view (so that clients never need to track group
+// membership themselves).
+const fRelay = "&relay"
+
+// Multicast sends an application message to a destination list using the
+// selected primitive (Section 3.2 "bc_mcast"). The destination list may
+// contain one group address and any number of process addresses. CBCAST and
+// ABCAST are asynchronous: the call returns as soon as the message has been
+// handed to the network. GBCAST is synchronous: it returns once the
+// globally-ordered delivery has been committed at the group.
+func (d *Daemon) Multicast(sender addr.Address, proto Protocol, dests addr.List, entry addr.EntryID, payload *msg.Message) (core.MsgID, error) {
+	if len(dests) == 0 {
+		return core.MsgID{}, ErrEmptyDest
+	}
+	if payload == nil {
+		payload = msg.New()
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return core.MsgID{}, ErrClosed
+	}
+	lp, ok := d.procs[sender.Base()]
+	if !ok {
+		d.mu.Unlock()
+		return core.MsgID{}, ErrUnknownProc
+	}
+	if !lp.alive {
+		d.mu.Unlock()
+		return core.MsgID{}, ErrDeadProcess
+	}
+	lp.nextSeq++
+	id := core.MsgID{Sender: sender.Base(), Seq: lp.nextSeq}
+	d.mu.Unlock()
+
+	var group addr.Address
+	var procDests addr.List
+	for _, a := range dests.Dedup() {
+		if a.IsGroup() {
+			if !group.IsNil() {
+				return core.MsgID{}, fmt.Errorf("%w: at most one group destination", ErrBadProtocol)
+			}
+			group = a.Base()
+		} else {
+			procDests = append(procDests, a.Base())
+		}
+	}
+
+	if group.IsNil() {
+		if proto == GBCAST || proto == ABCAST {
+			return core.MsgID{}, fmt.Errorf("%w: %v requires a group destination", ErrBadProtocol, proto)
+		}
+		return id, d.sendPointToPoint(sender, id, procDests, entry, payload)
+	}
+
+	if proto == GBCAST {
+		if len(procDests) > 0 {
+			return core.MsgID{}, fmt.Errorf("%w: GBCAST cannot carry extra process destinations", ErrBadProtocol)
+		}
+		return id, d.sendUserGbcast(sender, group, entry, payload)
+	}
+
+	if err := d.sendGroupMulticast(sender, lp, proto, group, id, entry, payload); err != nil {
+		return core.MsgID{}, err
+	}
+	if len(procDests) > 0 {
+		if err := d.sendPointToPoint(sender, id, procDests, entry, payload); err != nil {
+			return core.MsgID{}, err
+		}
+	}
+	return id, nil
+}
+
+// sendUserGbcast routes a user-level GBCAST through the group coordinator.
+func (d *Daemon) sendUserGbcast(sender, gid addr.Address, entry addr.EntryID, payload *msg.Message) error {
+	req := msg.New()
+	req.PutInt(fType, ptGbRequest)
+	req.PutInt(fKind, gbUser)
+	req.PutAddress(fGroup, gid)
+	req.PutAddress(fSender, sender.Base())
+	req.PutInt(fEntry, int64(entry))
+	req.PutMessage(fPayload, payload.Clone())
+	_, err := d.coordinatorCall(gid, req)
+	return err
+}
+
+// sendPointToPoint delivers a message directly to a list of processes; the
+// reply mechanism of the group RPC facility uses this path (a reply is "one
+// asynchronous CBCAST" in Table 1 terms).
+func (d *Daemon) sendPointToPoint(sender addr.Address, id core.MsgID, dests addr.List, entry addr.EntryID, payload *msg.Message) error {
+	if len(dests) == 0 {
+		return nil
+	}
+	pkt := msg.New()
+	pkt.PutInt(fType, ptData)
+	pkt.PutInt(fProto, int64(CBCAST))
+	putMsgID(pkt, id)
+	pkt.PutAddress(fSender, sender.Base())
+	pkt.PutInt(fEntry, int64(entry))
+	pkt.PutAddressList(fDests, dests)
+	pkt.PutMessage(fPayload, payload.Clone())
+
+	d.mu.Lock()
+	d.counters.PointToPoints++
+	d.mu.Unlock()
+
+	remoteSites := make(map[addr.SiteID]bool)
+	for _, a := range dests {
+		if a.Site == d.site {
+			continue
+		}
+		remoteSites[a.Site] = true
+	}
+	// Local destinations are delivered immediately.
+	d.deliverPointToPoint(pkt)
+	for s := range remoteSites {
+		if err := d.sendPacket(s, pkt.Clone()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliverPointToPoint hands a direct message to its local destinations.
+func (d *Daemon) deliverPointToPoint(pkt *msg.Message) {
+	dests := pkt.GetAddressList(fDests)
+	entry := addr.EntryID(pkt.GetInt(fEntry, 0))
+	sender := pkt.GetAddress(fSender)
+	payload := pkt.GetMessage(fPayload)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, a := range dests {
+		if a.Site != d.site {
+			continue
+		}
+		lp, ok := d.procs[a.Base()]
+		if !ok || !lp.alive {
+			continue
+		}
+		m := d.buildDelivery(payload, sender, addr.Nil, 0, CBCAST)
+		d.counters.Delivered++
+		e := entry
+		d.enqueue(lp, func() { lp.deliver(e, m) })
+	}
+}
+
+// sendGroupMulticast runs the sender side of CBCAST or ABCAST for a group
+// destination.
+func (d *Daemon) sendGroupMulticast(sender addr.Address, lp *localProc, proto Protocol, gid addr.Address, id core.MsgID, entry addr.EntryID, payload *msg.Message) error {
+	for {
+		d.mu.Lock()
+		gs, hosted := d.groups[gid]
+		if hosted && gs.wedged {
+			// A GBCAST flush is in progress: sends wait so the message is
+			// unambiguously ordered after the GBCAST point.
+			d.mu.Unlock()
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if !hosted {
+			d.mu.Unlock()
+			return d.relayExternalMulticast(sender, lp, proto, gid, id, entry, payload)
+		}
+		ms, isMember := gs.members[sender.Base()]
+		if !isMember {
+			d.mu.Unlock()
+			return d.relayExternalMulticast(sender, lp, proto, gid, id, entry, payload)
+		}
+		switch proto {
+		case CBCAST:
+			d.sendMemberCbcastLocked(gs, ms, sender, gid, id, entry, payload)
+			d.mu.Unlock()
+			return nil
+		case ABCAST:
+			pkt := d.buildDataPacket(ABCAST, gid, gs.view.ID, id, sender, gs.view.RankOf(sender), entry, payload)
+			st := d.initiateAbcastLocked(gs, id, pkt, lp)
+			d.mu.Unlock()
+			d.transmitAbcast(st, pkt)
+			return nil
+		default:
+			d.mu.Unlock()
+			return ErrBadProtocol
+		}
+	}
+}
+
+// buildDataPacket assembles the ptData wire packet for a group multicast.
+func (d *Daemon) buildDataPacket(proto Protocol, gid addr.Address, viewID core.ViewID, id core.MsgID, sender addr.Address, rank int, entry addr.EntryID, payload *msg.Message) *msg.Message {
+	pkt := msg.New()
+	pkt.PutInt(fType, ptData)
+	pkt.PutInt(fProto, int64(proto))
+	pkt.PutAddress(fGroup, gid)
+	pkt.PutInt(fViewID, int64(viewID))
+	putMsgID(pkt, id)
+	pkt.PutAddress(fSender, sender.Base())
+	pkt.PutInt(fRank, int64(rank))
+	pkt.PutInt(fEntry, int64(entry))
+	pkt.PutMessage(fPayload, payload.Clone())
+	return pkt
+}
+
+// sendMemberCbcastLocked performs a CBCAST send by a group member: the
+// message is stamped with the member's vector timestamp, delivered locally
+// at once (the sender never waits), and shipped to every other member site.
+// Caller holds d.mu; the packet transmission happens asynchronously.
+func (d *Daemon) sendMemberCbcastLocked(gs *groupState, ms *memberState, sender, gid addr.Address, id core.MsgID, entry addr.EntryID, payload *msg.Message) {
+	vt := ms.causal.PrepareSend()
+	rank := gs.view.RankOf(sender)
+	pkt := d.buildDataPacket(CBCAST, gid, gs.view.ID, id, sender, rank, entry, payload)
+	putVT(pkt, vt)
+	d.counters.CBCASTs++
+	d.recordRecentLocked(gs, id, pkt)
+
+	// Deliver to the sender itself immediately.
+	d.deliverDataLocked(ms, pkt)
+	// Other members at this site order it through their own causal queues.
+	for a, other := range gs.members {
+		if a == sender.Base() {
+			continue
+		}
+		in := core.CausalIncoming{ID: id, SenderRank: rank, VT: vt, Payload: pkt}
+		for _, out := range other.causal.Receive(in) {
+			if opkt, ok := out.Payload.(*msg.Message); ok {
+				d.deliverDataLocked(other, opkt)
+			}
+		}
+	}
+	// Ship one copy to every other member site, asynchronously.
+	sites := gs.view.SitesOf()
+	go func() {
+		for _, s := range sites {
+			if s == d.site {
+				continue
+			}
+			_ = d.sendPacket(s, pkt.Clone())
+		}
+	}()
+}
+
+// relayExternalMulticast handles a group multicast whose sender is not a
+// member of the group (or whose site hosts no members): the message is
+// forwarded to the group's coordinator site, which fans it out using its
+// authoritative view. FIFO order per sender is preserved by a per-sender
+// sequence number assigned here.
+func (d *Daemon) relayExternalMulticast(sender addr.Address, lp *localProc, proto Protocol, gid addr.Address, id core.MsgID, entry addr.EntryID, payload *msg.Message) error {
+	// Only CBCAST uses the per-sender FIFO sequence: ABCAST ordering is
+	// established by the priority agreement, so consuming a FIFO number for
+	// it would leave a permanent gap in the receivers' expected sequence.
+	var extSeq uint64
+	if proto == CBCAST {
+		d.mu.Lock()
+		lp.extSeq[gid]++
+		extSeq = lp.extSeq[gid]
+		d.mu.Unlock()
+	}
+
+	view, ok := d.CurrentView(gid)
+	if !ok {
+		v, err := d.refreshView(gid)
+		if err != nil {
+			return err
+		}
+		view = v
+	}
+	d.mu.Lock()
+	coord := d.actingCoordinator(view)
+	d.mu.Unlock()
+	if coord.IsNil() {
+		return ErrGroupVanished
+	}
+
+	pkt := d.buildDataPacket(proto, gid, view.ID, id, sender, -1, entry, payload)
+	if proto == CBCAST {
+		pkt.PutInt(fExtSeq, int64(extSeq))
+	}
+	pkt.PutInt(fRelay, 1)
+	// CBCAST relays are counted here (the coordinator only fans them out);
+	// ABCAST relays are counted once, by the coordinator that initiates the
+	// two-phase protocol.
+	if proto == CBCAST {
+		d.mu.Lock()
+		d.counters.CBCASTs++
+		d.mu.Unlock()
+	}
+	if coord.Site == d.site {
+		d.relayMulticast(d.site, pkt)
+		return nil
+	}
+	return d.sendPacket(coord.Site, pkt)
+}
+
+// relayMulticast runs at the coordinator site: it fans an external sender's
+// multicast out to the group using the current view.
+func (d *Daemon) relayMulticast(from addr.SiteID, pkt *msg.Message) {
+	gid := pkt.GetAddress(fGroup)
+	proto := Protocol(pkt.GetInt(fProto, 0))
+
+	d.mu.Lock()
+	gs, ok := d.groups[gid.Base()]
+	if !ok {
+		d.mu.Unlock()
+		return
+	}
+	if gs.wedged {
+		gs.heldPkts = append(gs.heldPkts, heldPacket{from, pkt})
+		d.mu.Unlock()
+		return
+	}
+	fanout := pkt.Clone()
+	fanout.Delete(fRelay)
+	id := getMsgID(pkt)
+
+	switch proto {
+	case CBCAST:
+		d.processCbcastLocked(gs, fanout)
+		sites := gs.view.SitesOf()
+		d.mu.Unlock()
+		for _, s := range sites {
+			if s == d.site {
+				continue
+			}
+			_ = d.sendPacket(s, fanout.Clone())
+		}
+	case ABCAST:
+		st := d.initiateAbcastLocked(gs, id, fanout, nil)
+		d.mu.Unlock()
+		d.transmitAbcast(st, fanout)
+	default:
+		d.mu.Unlock()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// ABCAST initiator side
+
+// initiateAbcastLocked sets up the initiator-side state for one ABCAST and
+// performs the local phase-1 proposals. Caller holds d.mu and must call
+// transmitAbcast afterwards.
+func (d *Daemon) initiateAbcastLocked(gs *groupState, id core.MsgID, pkt *msg.Message, senderLP *localProc) *abSendState {
+	maxPrio := uint64(0)
+	for _, ms := range gs.members {
+		if p := ms.total.Propose(id, pkt); p > maxPrio {
+			maxPrio = p
+		}
+	}
+	st := &abSendState{
+		id:      id,
+		group:   gs.view.Group,
+		waiting: make(map[addr.SiteID]bool),
+		maxPrio: maxPrio,
+		packet:  pkt,
+	}
+	st.targets = append(st.targets, d.site)
+	for _, s := range gs.view.SitesOf() {
+		if s == d.site || d.suspected[s] {
+			continue
+		}
+		st.waiting[s] = true
+		st.targets = append(st.targets, s)
+	}
+	d.pendingAb[id] = st
+	if senderLP != nil {
+		senderLP.outstanding++
+		st.sender = senderLP.addr
+	}
+	d.counters.ABCASTs++
+	return st
+}
+
+// transmitAbcast ships phase 1 to the remote member sites and completes the
+// protocol immediately if there is nobody to wait for. A watchdog completes
+// the protocol even if some site never answers (it will have been declared
+// failed by then, or the timeout acts as a backstop).
+func (d *Daemon) transmitAbcast(st *abSendState, pkt *msg.Message) {
+	d.mu.Lock()
+	remote := make([]addr.SiteID, 0, len(st.waiting))
+	for s := range st.waiting {
+		remote = append(remote, s)
+	}
+	ready := len(st.waiting) == 0 && !st.done
+	if ready {
+		st.done = true
+	}
+	d.mu.Unlock()
+
+	for _, s := range remote {
+		_ = d.sendPacket(s, pkt.Clone())
+	}
+	if ready {
+		d.completeAbcast(st)
+		return
+	}
+	time.AfterFunc(d.cfg.CallTimeout, func() {
+		d.mu.Lock()
+		if _, still := d.pendingAb[st.id]; !still || st.done {
+			d.mu.Unlock()
+			return
+		}
+		st.done = true
+		d.mu.Unlock()
+		d.completeAbcast(st)
+	})
+}
+
+// handleAbPropose processes a phase-1 response at the initiator.
+func (d *Daemon) handleAbPropose(from addr.SiteID, p *msg.Message) {
+	id := getMsgID(p)
+	prio := uint64(p.GetInt(fPriority, 0))
+	d.mu.Lock()
+	st, ok := d.pendingAb[id]
+	if !ok {
+		d.mu.Unlock()
+		return
+	}
+	if prio > st.maxPrio {
+		st.maxPrio = prio
+	}
+	delete(st.waiting, from)
+	finish := len(st.waiting) == 0 && !st.done
+	if finish {
+		st.done = true
+	}
+	d.mu.Unlock()
+	if finish {
+		d.completeAbcast(st)
+	}
+}
+
+// finishAbcast is invoked when a site failure removes the last outstanding
+// proposal for an ABCAST.
+func (d *Daemon) finishAbcast(st *abSendState) { d.completeAbcast(st) }
+
+// completeAbcast sends phase 2 (the final priority) to every destination
+// site and applies it locally.
+func (d *Daemon) completeAbcast(st *abSendState) {
+	d.mu.Lock()
+	delete(d.pendingAb, st.id)
+	final := st.maxPrio
+	if !st.sender.IsNil() {
+		if lp, ok := d.procs[st.sender.Base()]; ok && lp.outstanding > 0 {
+			lp.outstanding--
+		}
+	}
+	targets := append([]addr.SiteID(nil), st.targets...)
+	gid := st.group
+	d.mu.Unlock()
+
+	commit := msg.New()
+	commit.PutInt(fType, ptAbCommit)
+	commit.PutAddress(fGroup, gid)
+	putMsgID(commit, st.id)
+	commit.PutInt(fPriority, int64(final))
+	for _, s := range targets {
+		if s == d.site {
+			continue
+		}
+		_ = d.sendPacket(s, commit.Clone())
+	}
+	d.handleAbCommit(d.site, commit)
+}
+
+// handleAbCommit applies an ABCAST final priority at a destination site.
+func (d *Daemon) handleAbCommit(from addr.SiteID, p *msg.Message) {
+	gid := p.GetAddress(fGroup)
+	id := getMsgID(p)
+	final := uint64(p.GetInt(fPriority, 0))
+
+	d.mu.Lock()
+	gs, ok := d.groups[gid.Base()]
+	if !ok {
+		d.mu.Unlock()
+		return
+	}
+	if gs.wedged {
+		gs.heldPkts = append(gs.heldPkts, heldPacket{from, p})
+		d.mu.Unlock()
+		return
+	}
+	for _, ms := range gs.members {
+		for _, del := range ms.total.Commit(id, final) {
+			if pkt, ok := del.Payload.(*msg.Message); ok && pkt != nil {
+				d.recordRecentLocked(gs, del.ID, pkt)
+				d.deliverDataLocked(ms, pkt)
+			}
+		}
+	}
+	d.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+
+// handleData processes an incoming ptData packet: a point-to-point message,
+// a relayed external multicast, a CBCAST, or ABCAST phase 1.
+func (d *Daemon) handleData(from addr.SiteID, pkt *msg.Message) {
+	gid := pkt.GetAddress(fGroup)
+	if gid.IsNil() {
+		d.deliverPointToPoint(pkt)
+		return
+	}
+	if pkt.GetInt(fRelay, 0) == 1 {
+		d.relayMulticast(from, pkt)
+		return
+	}
+	proto := Protocol(pkt.GetInt(fProto, 0))
+	sender := pkt.GetAddress(fSender)
+
+	d.mu.Lock()
+	gs, ok := d.groups[gid.Base()]
+	if !ok {
+		d.mu.Unlock()
+		return
+	}
+	if d.failedProcs[sender.Base()] {
+		// A failure that has already been observed: messages from the
+		// failed process must never be delivered afterwards (Section 2.2).
+		d.mu.Unlock()
+		return
+	}
+	if gs.wedged {
+		gs.heldPkts = append(gs.heldPkts, heldPacket{from, pkt})
+		d.mu.Unlock()
+		return
+	}
+	switch proto {
+	case CBCAST:
+		d.processCbcastLocked(gs, pkt)
+		d.mu.Unlock()
+	case ABCAST:
+		id := getMsgID(pkt)
+		maxPrio := uint64(0)
+		for _, ms := range gs.members {
+			if p := ms.total.Propose(id, pkt); p > maxPrio {
+				maxPrio = p
+			}
+		}
+		d.mu.Unlock()
+		resp := msg.New()
+		resp.PutInt(fType, ptAbPropose)
+		resp.PutAddress(fGroup, gid)
+		putMsgID(resp, id)
+		resp.PutInt(fPriority, int64(maxPrio))
+		_ = d.sendPacket(from, resp)
+	default:
+		d.mu.Unlock()
+	}
+}
+
+// processCbcastLocked feeds a CBCAST into every local member's causal queue
+// and delivers whatever becomes deliverable. Caller holds d.mu.
+func (d *Daemon) processCbcastLocked(gs *groupState, pkt *msg.Message) {
+	id := getMsgID(pkt)
+	rank := int(pkt.GetInt(fRank, -1))
+	for _, ms := range gs.members {
+		var in core.CausalIncoming
+		if rank >= 0 {
+			in = core.CausalIncoming{ID: id, SenderRank: rank, VT: getVT(pkt), Payload: pkt}
+		} else {
+			in = core.CausalIncoming{ID: id, SenderRank: -1, Seq: uint64(pkt.GetInt(fExtSeq, 0)), Payload: pkt}
+		}
+		for _, out := range ms.causal.Receive(in) {
+			if ms.redelivered[out.ID] {
+				// Already delivered to this member by a GBCAST flush
+				// re-dissemination; the causal clock has been advanced by
+				// Receive, so just suppress the duplicate callback.
+				delete(ms.redelivered, out.ID)
+				continue
+			}
+			if opkt, ok := out.Payload.(*msg.Message); ok {
+				d.recordRecentLocked(gs, out.ID, opkt)
+				d.deliverDataLocked(ms, opkt)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Delivery helpers
+
+// buildDelivery constructs the application-visible message: the payload plus
+// the toolkit system fields.
+func (d *Daemon) buildDelivery(payload *msg.Message, sender, group addr.Address, viewID core.ViewID, proto Protocol) *msg.Message {
+	m := payload.Clone()
+	m.PutAddress(msg.FSender, sender.Base())
+	if !group.IsNil() {
+		m.PutAddress(msg.FGroup, group)
+		m.PutInt(msg.FViewID, int64(viewID))
+	}
+	m.PutInt(msg.FProtocol, int64(proto))
+	return m
+}
+
+// deliverDataLocked delivers a group data packet to one local member. Caller
+// holds d.mu.
+func (d *Daemon) deliverDataLocked(ms *memberState, pkt *msg.Message) {
+	entry := addr.EntryID(pkt.GetInt(fEntry, 0))
+	payload := pkt.GetMessage(fPayload)
+	if payload == nil {
+		payload = msg.New()
+	}
+	sender := pkt.GetAddress(fSender)
+	gid := pkt.GetAddress(fGroup)
+	proto := Protocol(pkt.GetInt(fProto, 0))
+	viewID := core.ViewID(pkt.GetInt(fViewID, 0))
+	m := d.buildDelivery(payload, sender, gid, viewID, proto)
+	d.counters.Delivered++
+	lp := ms.proc
+	d.enqueueMember(ms, func() { lp.deliver(entry, m) })
+}
+
+// deliverPayloadLocked delivers an application payload (used by user-level
+// GBCASTs) to one local member. Caller holds d.mu.
+func (d *Daemon) deliverPayloadLocked(gs *groupState, ms *memberState, sender addr.Address, proto Protocol, entry addr.EntryID, payload *msg.Message) {
+	m := d.buildDelivery(payload, sender, gs.view.Group, gs.view.ID, proto)
+	d.counters.Delivered++
+	lp := ms.proc
+	d.enqueueMember(ms, func() { lp.deliver(entry, m) })
+}
+
+// enqueueMember schedules a delivery for a member, holding it if the member
+// is still waiting for its state transfer. Caller holds d.mu.
+func (d *Daemon) enqueueMember(ms *memberState, fn func()) {
+	if ms.awaitingState {
+		ms.held = append(ms.held, fn)
+		return
+	}
+	d.enqueue(ms.proc, fn)
+}
+
+// recordRecentLocked remembers a delivered data packet so a GBCAST flush can
+// re-disseminate it to members that missed it. Caller holds d.mu.
+func (d *Daemon) recordRecentLocked(gs *groupState, id core.MsgID, pkt *msg.Message) {
+	if _, ok := gs.recent[id]; ok {
+		return
+	}
+	gs.recent[id] = pkt
+	gs.order = append(gs.order, id)
+	if len(gs.order) > recentLimit {
+		old := gs.order[0]
+		gs.order = gs.order[1:]
+		delete(gs.recent, old)
+	}
+}
+
+// Flush blocks until the sender's outstanding asynchronous multicasts have
+// been transmitted and committed (Section 3.2, footnote 3: flush is invoked
+// before interacting with the external world or writing stable storage).
+func (d *Daemon) Flush(sender addr.Address) error {
+	deadline := time.Now().Add(d.cfg.CallTimeout)
+	for {
+		d.mu.Lock()
+		lp, ok := d.procs[sender.Base()]
+		outstanding := 0
+		if ok {
+			outstanding = lp.outstanding
+		}
+		closed := d.closed
+		d.mu.Unlock()
+		if !ok {
+			return ErrUnknownProc
+		}
+		if closed {
+			return ErrClosed
+		}
+		if outstanding == 0 && d.tr.Unacked() == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return ErrTimeout
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

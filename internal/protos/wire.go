@@ -1,0 +1,232 @@
+// Package protos implements the per-site "protocols process" shown in
+// Figure 1 of the paper. One Daemon runs at every site: it performs all
+// inter-site communication, maintains process-group membership views,
+// implements the CBCAST / ABCAST / GBCAST multicast primitives on top of the
+// ordering state machines in internal/core, detects failures, and delivers
+// messages to the client processes registered at its site.
+package protos
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/msg"
+	"repro/internal/vclock"
+)
+
+// Protocol selects which multicast primitive carries a message
+// (Section 3.1).
+type Protocol uint8
+
+const (
+	// CBCAST delivers messages in causal order; it is asynchronous (the
+	// sender continues immediately).
+	CBCAST Protocol = iota + 1
+	// ABCAST delivers messages atomically and in the same total order at
+	// every destination.
+	ABCAST
+	// GBCAST is ordered with respect to every other multicast and to
+	// membership changes; the system itself uses it for view changes and
+	// the configuration tool exposes it to applications.
+	GBCAST
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case CBCAST:
+		return "CBCAST"
+	case ABCAST:
+		return "ABCAST"
+	case GBCAST:
+		return "GBCAST"
+	default:
+		return fmt.Sprintf("protocol(%d)", uint8(p))
+	}
+}
+
+// Packet types exchanged between daemons. Every inter-site packet is a
+// marshalled msg.Message whose "&type" field holds one of these values.
+// Daemon-internal fields use the "&" prefix so they can never collide with
+// the application's fields or with the "@" system fields the toolkit sets.
+const (
+	ptData       = int64(iota + 1) // CBCAST data / ABCAST phase 1 / point-to-point
+	ptAbPropose                    // ABCAST phase 1 response: proposed priority
+	ptAbCommit                     // ABCAST phase 2: final priority
+	ptGbRequest                    // request to the group coordinator (join/leave/fail/user gbcast/config)
+	ptGbPrepare                    // GBCAST phase 1: wedge and report pending state
+	ptGbAck                        // GBCAST phase 1 response
+	ptGbCommit                     // GBCAST phase 2: install view / deliver payload
+	ptGbDone                       // coordinator's response to the original requester
+	ptLookup                       // symbolic name lookup request
+	ptLookupResp                   // lookup response
+	ptHeartbeat                    // failure-detector heartbeat
+	ptStateBlock                   // state transfer block for a joining member
+	ptError                        // negative response to a call
+)
+
+// Field names used in daemon-to-daemon packets.
+const (
+	fType      = "&type"
+	fCall      = "&call"    // call id for request/response matching
+	fGroup     = "&group"   // group address
+	fViewID    = "&viewid"  // view id the packet refers to
+	fMsgID     = "&msgid"   // multicast id: sender address + sequence
+	fMsgSeq    = "&msgseq"  // sequence part of the multicast id
+	fSender    = "&sender"  // originating process
+	fRank      = "&rank"    // sender's rank in the view (-1 external)
+	fVT        = "&vt"      // vector timestamp (CBCAST)
+	fExtSeq    = "&extseq"  // per-sender sequence for external senders
+	fProto     = "&proto"   // Protocol value
+	fEntry     = "&entry"   // destination entry point
+	fPayload   = "&payload" // nested application message
+	fDests     = "&dests"   // explicit destination processes
+	fPriority  = "&prio"    // ABCAST priority
+	fKind      = "&kind"    // gb request kind
+	fProcs     = "&procs"   // processes affected by a gb request
+	fName      = "&name"    // symbolic group name
+	fView      = "&view"    // encoded view
+	fGbID      = "&gbid"    // gbcast sequence number at the coordinator
+	fPending   = "&pending" // encoded pending-state report (gbAck)
+	fRebcast   = "&rebcast" // encoded rebroadcast set (gbCommit)
+	fStateData = "&sdata"   // state transfer block payload
+	fStateLast = "&slast"   // last state block flag
+	fWantState = "&wantst"  // join wants a state transfer
+	fErr       = "&err"     // error text
+	fSite      = "&site"    // site id (heartbeats)
+)
+
+// GB request kinds carried in ptGbRequest packets.
+const (
+	gbJoin       = int64(iota + 1) // add a member
+	gbLeave                        // remove a member voluntarily
+	gbFail                         // remove failed members
+	gbUser                         // user-level GBCAST delivery to an entry
+	gbConfigHint                   // reserved for the configuration tool (delivered like gbUser)
+)
+
+// encodeView stores a view in a nested message.
+func encodeView(v core.View) *msg.Message {
+	m := msg.New()
+	m.PutAddress("g", v.Group)
+	m.PutString("n", v.Name)
+	m.PutInt("id", int64(v.ID))
+	m.PutAddressList("m", v.Members)
+	return m
+}
+
+// decodeView reads a view from a nested message.
+func decodeView(m *msg.Message) core.View {
+	if m == nil {
+		return core.View{}
+	}
+	return core.View{
+		Group:   m.GetAddress("g"),
+		Name:    m.GetString("n", ""),
+		ID:      core.ViewID(m.GetInt("id", 0)),
+		Members: m.GetAddressList("m"),
+	}
+}
+
+// putMsgID stores a multicast id on a packet.
+func putMsgID(p *msg.Message, id core.MsgID) {
+	p.PutAddress(fMsgID, id.Sender)
+	p.PutInt(fMsgSeq, int64(id.Seq))
+}
+
+// getMsgID reads a multicast id from a packet.
+func getMsgID(p *msg.Message) core.MsgID {
+	return core.MsgID{Sender: p.GetAddress(fMsgID), Seq: uint64(p.GetInt(fMsgSeq, 0))}
+}
+
+// putVT / getVT move a vector timestamp through a packet.
+func putVT(p *msg.Message, vt vclock.VC) { p.PutBytes(fVT, vt.Encode()) }
+
+func getVT(p *msg.Message) vclock.VC {
+	vt, err := vclock.Decode(p.GetBytes(fVT))
+	if err != nil {
+		return nil
+	}
+	return vt
+}
+
+// pendingReport is one member-site's contribution to a GBCAST flush: the
+// ABCASTs it has received but not delivered (with commit status) and the
+// identifiers of recent deliveries so the coordinator can rebroadcast
+// messages some members missed.
+type pendingReport struct {
+	Abcasts []abPendingWire
+	Recent  []recentWire
+}
+
+type abPendingWire struct {
+	ID        core.MsgID
+	Committed bool
+	Priority  uint64
+	Packet    *msg.Message // the original ptData packet, so it can be re-disseminated
+}
+
+type recentWire struct {
+	ID     core.MsgID
+	Packet *msg.Message
+}
+
+// encodePendingReport flattens a report into a nested message.
+func encodePendingReport(r pendingReport) *msg.Message {
+	m := msg.New()
+	m.PutInt("nab", int64(len(r.Abcasts)))
+	for i, a := range r.Abcasts {
+		e := msg.New()
+		putMsgID(e, a.ID)
+		if a.Committed {
+			e.PutInt("c", 1)
+		} else {
+			e.PutInt("c", 0)
+		}
+		e.PutInt("p", int64(a.Priority))
+		if a.Packet != nil {
+			e.PutMessage("pkt", a.Packet)
+		}
+		m.PutMessage(fmt.Sprintf("ab%d", i), e)
+	}
+	m.PutInt("nrc", int64(len(r.Recent)))
+	for i, rc := range r.Recent {
+		e := msg.New()
+		putMsgID(e, rc.ID)
+		if rc.Packet != nil {
+			e.PutMessage("pkt", rc.Packet)
+		}
+		m.PutMessage(fmt.Sprintf("rc%d", i), e)
+	}
+	return m
+}
+
+// decodePendingReport reverses encodePendingReport.
+func decodePendingReport(m *msg.Message) pendingReport {
+	var r pendingReport
+	if m == nil {
+		return r
+	}
+	nab := int(m.GetInt("nab", 0))
+	for i := 0; i < nab; i++ {
+		e := m.GetMessage(fmt.Sprintf("ab%d", i))
+		if e == nil {
+			continue
+		}
+		r.Abcasts = append(r.Abcasts, abPendingWire{
+			ID:        getMsgID(e),
+			Committed: e.GetInt("c", 0) == 1,
+			Priority:  uint64(e.GetInt("p", 0)),
+			Packet:    e.GetMessage("pkt"),
+		})
+	}
+	nrc := int(m.GetInt("nrc", 0))
+	for i := 0; i < nrc; i++ {
+		e := m.GetMessage(fmt.Sprintf("rc%d", i))
+		if e == nil {
+			continue
+		}
+		r.Recent = append(r.Recent, recentWire{ID: getMsgID(e), Packet: e.GetMessage("pkt")})
+	}
+	return r
+}

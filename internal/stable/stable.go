@@ -1,0 +1,301 @@
+// Package stable implements the stable-storage facility the paper's
+// recovery tools depend on (Section 2.2 "Stable storage" and Section 3.6's
+// logging mode of the replicated data tool): an append-only log of records
+// plus periodic checkpoints, with replay on recovery.
+//
+// Two implementations are provided: an in-memory store (used by tests and by
+// applications that only need the interface) and a file-backed store that
+// survives process restarts, which is what the recovery-manager examples and
+// the twenty-questions Step 6 ("restarting from total failures") use.
+package stable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Record is one log entry. Kind is application-defined; the replicated data
+// tool uses it to distinguish updates from checkpoint markers.
+type Record struct {
+	Kind uint8
+	Data []byte
+}
+
+// Store is the stable-storage interface: an append-only log plus a
+// checkpoint slot. WriteCheckpoint atomically replaces the checkpoint and
+// truncates the log (records appended afterwards are "since the
+// checkpoint").
+type Store interface {
+	// Append adds a record to the log.
+	Append(rec Record) error
+	// WriteCheckpoint replaces the checkpoint and clears the log.
+	WriteCheckpoint(data []byte) error
+	// Recover returns the latest checkpoint (nil if none) and the records
+	// appended since it, in order.
+	Recover() (checkpoint []byte, log []Record, err error)
+	// LogLen returns the number of records appended since the checkpoint.
+	LogLen() (int, error)
+	// Close releases any resources.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("stable: store closed")
+
+// ---------------------------------------------------------------------------
+// In-memory store
+
+// MemStore is an in-memory Store. It is safe for concurrent use. Its
+// contents survive only as long as the process, which is sufficient for
+// tests and for simulating partial failures (where the "disk" survives
+// because the simulated site object is retained).
+type MemStore struct {
+	mu         sync.Mutex
+	checkpoint []byte
+	log        []Record
+	closed     bool
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *MemStore { return &MemStore{} }
+
+// Append implements Store.
+func (s *MemStore) Append(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	cp := Record{Kind: rec.Kind, Data: append([]byte(nil), rec.Data...)}
+	s.log = append(s.log, cp)
+	return nil
+}
+
+// WriteCheckpoint implements Store.
+func (s *MemStore) WriteCheckpoint(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.checkpoint = append([]byte(nil), data...)
+	s.log = nil
+	return nil
+}
+
+// Recover implements Store.
+func (s *MemStore) Recover() ([]byte, []Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, nil, ErrClosed
+	}
+	var cp []byte
+	if s.checkpoint != nil {
+		cp = append([]byte(nil), s.checkpoint...)
+	}
+	out := make([]Record, len(s.log))
+	for i, r := range s.log {
+		out[i] = Record{Kind: r.Kind, Data: append([]byte(nil), r.Data...)}
+	}
+	return cp, out, nil
+}
+
+// LogLen implements Store.
+func (s *MemStore) LogLen() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	return len(s.log), nil
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// File-backed store
+
+// FileStore is a Store backed by two files in a directory: "checkpoint"
+// holds the latest checkpoint and "log" holds records appended since. The
+// formats are length-prefixed binary. Writes are flushed with File.Sync so a
+// crashed process can recover what it logged.
+type FileStore struct {
+	mu      sync.Mutex
+	dir     string
+	logFile *os.File
+	closed  bool
+}
+
+const (
+	checkpointName = "checkpoint"
+	logName        = "log"
+)
+
+// NewFile opens (creating if needed) a file-backed store rooted at dir.
+func NewFile(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("stable: create dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("stable: open log: %w", err)
+	}
+	return &FileStore{dir: dir, logFile: f}, nil
+}
+
+// Append implements Store.
+func (s *FileStore) Append(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	var hdr [5]byte
+	hdr[0] = rec.Kind
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(rec.Data)))
+	if _, err := s.logFile.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := s.logFile.Write(rec.Data); err != nil {
+		return err
+	}
+	return s.logFile.Sync()
+}
+
+// WriteCheckpoint implements Store.
+func (s *FileStore) WriteCheckpoint(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	// Write the checkpoint to a temporary file and rename it into place so
+	// a crash mid-write never corrupts the previous checkpoint.
+	tmp := filepath.Join(s.dir, checkpointName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, checkpointName)); err != nil {
+		return err
+	}
+	// Truncate the log: records before the checkpoint are now redundant.
+	if err := s.logFile.Close(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, logName), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	s.logFile = f
+	return nil
+}
+
+// Recover implements Store.
+func (s *FileStore) Recover() ([]byte, []Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, nil, ErrClosed
+	}
+	var cp []byte
+	b, err := os.ReadFile(filepath.Join(s.dir, checkpointName))
+	switch {
+	case err == nil:
+		cp = b
+	case os.IsNotExist(err):
+		cp = nil
+	default:
+		return nil, nil, err
+	}
+	logBytes, err := os.ReadFile(filepath.Join(s.dir, logName))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	recs, err := parseLog(logBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cp, recs, nil
+}
+
+// parseLog decodes the length-prefixed records, stopping cleanly at a
+// truncated tail (which can occur if the process crashed mid-append).
+func parseLog(b []byte) ([]Record, error) {
+	var recs []Record
+	for len(b) > 0 {
+		if len(b) < 5 {
+			break // truncated header: drop the partial record
+		}
+		kind := b[0]
+		n := int(binary.BigEndian.Uint32(b[1:5]))
+		if len(b) < 5+n {
+			break // truncated payload
+		}
+		recs = append(recs, Record{Kind: kind, Data: append([]byte(nil), b[5:5+n]...)})
+		b = b[5+n:]
+	}
+	return recs, nil
+}
+
+// LogLen implements Store.
+func (s *FileStore) LogLen() (int, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	s.mu.Unlock()
+	_, recs, err := s.Recover()
+	if err != nil {
+		return 0, err
+	}
+	return len(recs), nil
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.logFile.Close()
+}
+
+// CopyStore duplicates the recoverable contents of src into dst. It is used
+// by tests and by the recovery-manager example to model moving a service's
+// stable state to the site where it restarts.
+func CopyStore(dst, src Store) error {
+	cp, log, err := src.Recover()
+	if err != nil {
+		return err
+	}
+	if cp != nil {
+		if err := dst.WriteCheckpoint(cp); err != nil {
+			return err
+		}
+	}
+	for _, r := range log {
+		if err := dst.Append(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAll is a small helper that drains an io.Reader; exported for use by
+// the examples when loading seed databases.
+func ReadAll(r io.Reader) ([]byte, error) { return io.ReadAll(r) }

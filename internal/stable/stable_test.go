@@ -1,0 +1,296 @@
+package stable
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// storeFactory lets every test run against both implementations.
+type storeFactory struct {
+	name string
+	make func(t *testing.T) Store
+}
+
+func factories() []storeFactory {
+	return []storeFactory{
+		{"mem", func(t *testing.T) Store { return NewMem() }},
+		{"file", func(t *testing.T) Store {
+			s, err := NewFile(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+	}
+}
+
+func TestEmptyRecover(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			s := f.make(t)
+			defer s.Close()
+			cp, log, err := s.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cp != nil || len(log) != 0 {
+				t.Errorf("empty store recovered cp=%v log=%v", cp, log)
+			}
+			n, err := s.LogLen()
+			if err != nil || n != 0 {
+				t.Errorf("LogLen = %d, %v", n, err)
+			}
+		})
+	}
+}
+
+func TestAppendAndRecover(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			s := f.make(t)
+			defer s.Close()
+			recs := []Record{
+				{Kind: 1, Data: []byte("update price>9000")},
+				{Kind: 1, Data: []byte("update color=red")},
+				{Kind: 2, Data: nil},
+			}
+			for _, r := range recs {
+				if err := s.Append(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			_, log, err := s.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(log) != len(recs) {
+				t.Fatalf("recovered %d records, want %d", len(log), len(recs))
+			}
+			for i := range recs {
+				if log[i].Kind != recs[i].Kind || !bytes.Equal(log[i].Data, recs[i].Data) {
+					t.Errorf("record %d = %+v, want %+v", i, log[i], recs[i])
+				}
+			}
+			if n, _ := s.LogLen(); n != len(recs) {
+				t.Errorf("LogLen = %d", n)
+			}
+		})
+	}
+}
+
+func TestCheckpointTruncatesLog(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			s := f.make(t)
+			defer s.Close()
+			_ = s.Append(Record{Kind: 1, Data: []byte("old")})
+			if err := s.WriteCheckpoint([]byte("state-v1")); err != nil {
+				t.Fatal(err)
+			}
+			_ = s.Append(Record{Kind: 1, Data: []byte("new")})
+			cp, log, err := s.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(cp) != "state-v1" {
+				t.Errorf("checkpoint = %q", cp)
+			}
+			if len(log) != 1 || string(log[0].Data) != "new" {
+				t.Errorf("log after checkpoint = %+v", log)
+			}
+		})
+	}
+}
+
+func TestCheckpointOverwrite(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			s := f.make(t)
+			defer s.Close()
+			_ = s.WriteCheckpoint([]byte("v1"))
+			_ = s.WriteCheckpoint([]byte("v2"))
+			cp, _, _ := s.Recover()
+			if string(cp) != "v2" {
+				t.Errorf("checkpoint = %q, want v2", cp)
+			}
+		})
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			s := f.make(t)
+			s.Close()
+			if err := s.Append(Record{}); !errors.Is(err, ErrClosed) {
+				t.Errorf("Append after close = %v", err)
+			}
+			if err := s.WriteCheckpoint(nil); !errors.Is(err, ErrClosed) {
+				t.Errorf("WriteCheckpoint after close = %v", err)
+			}
+			if _, _, err := s.Recover(); !errors.Is(err, ErrClosed) {
+				t.Errorf("Recover after close = %v", err)
+			}
+			if _, err := s.LogLen(); !errors.Is(err, ErrClosed) {
+				t.Errorf("LogLen after close = %v", err)
+			}
+		})
+	}
+}
+
+func TestFileStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.WriteCheckpoint([]byte("durable"))
+	_ = s.Append(Record{Kind: 3, Data: []byte("after-cp")})
+	s.Close()
+
+	// "Restart": open a new store on the same directory.
+	s2, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	cp, log, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cp) != "durable" {
+		t.Errorf("checkpoint = %q", cp)
+	}
+	if len(log) != 1 || log[0].Kind != 3 || string(log[0].Data) != "after-cp" {
+		t.Errorf("log = %+v", log)
+	}
+}
+
+func TestFileStoreToleratesTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Append(Record{Kind: 1, Data: []byte("complete")})
+	s.Close()
+	// Simulate a crash mid-append by appending a partial header.
+	f, err := os.OpenFile(filepath.Join(dir, "log"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	_, log, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 1 || string(log[0].Data) != "complete" {
+		t.Errorf("log = %+v, want only the complete record", log)
+	}
+}
+
+func TestMemStoreIsolation(t *testing.T) {
+	s := NewMem()
+	defer s.Close()
+	data := []byte("mutate me")
+	_ = s.Append(Record{Kind: 1, Data: data})
+	data[0] = 'X'
+	_, log, _ := s.Recover()
+	if string(log[0].Data) != "mutate me" {
+		t.Error("MemStore aliased the caller's buffer on Append")
+	}
+	log[0].Data[0] = 'Y'
+	_, log2, _ := s.Recover()
+	if string(log2[0].Data) != "mutate me" {
+		t.Error("MemStore exposed internal state on Recover")
+	}
+}
+
+func TestCopyStore(t *testing.T) {
+	src := NewMem()
+	defer src.Close()
+	_ = src.WriteCheckpoint([]byte("base"))
+	_ = src.Append(Record{Kind: 1, Data: []byte("delta-1")})
+	_ = src.Append(Record{Kind: 1, Data: []byte("delta-2")})
+
+	dst := NewMem()
+	defer dst.Close()
+	if err := CopyStore(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	cp, log, _ := dst.Recover()
+	if string(cp) != "base" || len(log) != 2 || string(log[1].Data) != "delta-2" {
+		t.Errorf("copied store: cp=%q log=%+v", cp, log)
+	}
+}
+
+func TestCopyStoreWithoutCheckpoint(t *testing.T) {
+	src := NewMem()
+	_ = src.Append(Record{Kind: 1, Data: []byte("only-log")})
+	dst := NewMem()
+	if err := CopyStore(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	cp, log, _ := dst.Recover()
+	if cp != nil || len(log) != 1 {
+		t.Errorf("copy without checkpoint: cp=%v log=%+v", cp, log)
+	}
+}
+
+func TestReadAll(t *testing.T) {
+	got, err := ReadAll(strings.NewReader("hello"))
+	if err != nil || string(got) != "hello" {
+		t.Errorf("ReadAll = %q, %v", got, err)
+	}
+}
+
+// Property: any sequence of appended records is recovered verbatim, in
+// order, by both implementations.
+func TestAppendRecoverProperty(t *testing.T) {
+	f := func(payloads [][]byte, kinds []uint8) bool {
+		if len(payloads) > 20 {
+			payloads = payloads[:20]
+		}
+		mem := NewMem()
+		defer mem.Close()
+		var want []Record
+		for i, p := range payloads {
+			k := uint8(1)
+			if i < len(kinds) {
+				k = kinds[i]
+			}
+			r := Record{Kind: k, Data: p}
+			want = append(want, r)
+			if err := mem.Append(r); err != nil {
+				return false
+			}
+		}
+		_, got, err := mem.Recover()
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i].Kind != want[i].Kind || !bytes.Equal(got[i].Data, want[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,251 @@
+// Package task implements the ISIS light-weight task facility of Section 4.1
+// of the paper: a single process can execute multiple concurrent tasks, one
+// per arriving message. Each process binds routines to entry points (1-byte
+// identifiers); when a message arrives, it is passed through a chain of
+// filters (the protection facility installs one, and the final "filter" is
+// the one that creates new tasks) and then a new task runs the routine bound
+// to the destination entry point.
+//
+// The 1987 implementation used fixed-stack, non-preemptive coroutines: a
+// task ran until it blocked, so messages arriving at one entry point were
+// processed in arrival order unless the handler explicitly waited. Here each
+// task is a goroutine, and that ordering property is preserved by running
+// the tasks of each entry point sequentially (one worker per entry);
+// different entry points execute concurrently, and Run starts explicitly
+// concurrent work. A handler that blocks therefore delays only later
+// messages for its own entry, which matches how the toolkit's tools use
+// entries (one entry per tool or per replicated item).
+package task
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/msg"
+)
+
+// Handler is a routine bound to an entry point. It runs in its own task.
+type Handler func(m *msg.Message)
+
+// Filter examines an arriving message before a task is created for it. A
+// filter returns false to discard the message (for example, the protection
+// tool rejects messages from untrusted senders). Filters run in the order
+// they were added, on the dispatcher's goroutine.
+type Filter func(entry addr.EntryID, m *msg.Message) bool
+
+// Errors returned by Dispatch.
+var (
+	ErrClosed  = errors.New("task: manager closed")
+	ErrNoEntry = errors.New("task: no handler bound to entry")
+)
+
+// Manager owns one process's entry table, filter chain, and running tasks.
+// It is safe for concurrent use.
+type Manager struct {
+	mu      sync.Mutex
+	entries map[addr.EntryID]Handler
+	filters []Filter
+	workers map[addr.EntryID]chan queued
+	closed  bool
+	done    chan struct{}
+
+	active sync.WaitGroup
+	nTasks int64
+	total  uint64
+}
+
+// queued is one message awaiting its entry worker.
+type queued struct {
+	h Handler
+	m *msg.Message
+}
+
+// NewManager returns an empty manager.
+func NewManager() *Manager {
+	return &Manager{
+		entries: make(map[addr.EntryID]Handler),
+		workers: make(map[addr.EntryID]chan queued),
+		done:    make(chan struct{}),
+	}
+}
+
+// BindEntry binds handler h to entry point e, replacing any previous
+// binding. Binding a nil handler removes the entry.
+func (g *Manager) BindEntry(e addr.EntryID, h Handler) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if h == nil {
+		delete(g.entries, e)
+		return
+	}
+	g.entries[e] = h
+}
+
+// Bound reports whether an entry currently has a handler.
+func (g *Manager) Bound(e addr.EntryID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.entries[e]
+	return ok
+}
+
+// AddFilter appends a filter to the chain.
+func (g *Manager) AddFilter(f Filter) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.filters = append(g.filters, f)
+}
+
+// Dispatch runs the filter chain for the message and, if every filter
+// passes, schedules a task running the handler bound to the entry point.
+// Tasks for the same entry run sequentially in dispatch order; tasks for
+// different entries run concurrently. Dispatch returns ErrNoEntry when
+// nothing is bound to the entry, ErrClosed when the manager has been
+// closed, and nil when a task was scheduled or the message was (silently)
+// dropped by a filter.
+func (g *Manager) Dispatch(entry addr.EntryID, m *msg.Message) error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return ErrClosed
+	}
+	filters := make([]Filter, len(g.filters))
+	copy(filters, g.filters)
+	h, ok := g.entries[entry]
+	g.mu.Unlock()
+
+	for _, f := range filters {
+		if !f(entry, m) {
+			return nil // dropped by a filter; not an error
+		}
+	}
+	if !ok {
+		return ErrNoEntry
+	}
+
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return ErrClosed
+	}
+	w, exists := g.workers[entry]
+	if !exists {
+		w = make(chan queued, 4096)
+		g.workers[entry] = w
+		go g.runEntryWorker(w)
+	}
+	g.active.Add(1)
+	g.nTasks++
+	g.total++
+	// Enqueue under the lock so queue order equals dispatch order.
+	select {
+	case w <- queued{h: h, m: m}:
+		g.mu.Unlock()
+	default:
+		// The entry's queue is saturated: fall back to an unordered task
+		// rather than blocking the caller (which is the protocols process).
+		g.mu.Unlock()
+		go func() {
+			defer g.taskDone()
+			h(m)
+		}()
+	}
+	return nil
+}
+
+// runEntryWorker executes one entry point's tasks sequentially.
+func (g *Manager) runEntryWorker(w chan queued) {
+	for {
+		select {
+		case q := <-w:
+			q.h(q.m)
+			g.taskDone()
+		case <-g.done:
+			// Drain whatever was enqueued before shutdown so WaitIdle
+			// callers are released.
+			for {
+				select {
+				case <-w:
+					g.taskDone()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (g *Manager) taskDone() {
+	g.mu.Lock()
+	g.nTasks--
+	g.mu.Unlock()
+	g.active.Done()
+}
+
+// Run executes fn as a tracked task without going through the entry table;
+// the toolkit uses it for internally generated work (e.g. monitor
+// callbacks) so that WaitIdle covers it too.
+func (g *Manager) Run(fn func()) error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return ErrClosed
+	}
+	g.active.Add(1)
+	g.nTasks++
+	g.total++
+	g.mu.Unlock()
+	go func() {
+		defer func() {
+			g.mu.Lock()
+			g.nTasks--
+			g.mu.Unlock()
+			g.active.Done()
+		}()
+		fn()
+	}()
+	return nil
+}
+
+// ActiveTasks returns the number of currently running tasks.
+func (g *Manager) ActiveTasks() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return int(g.nTasks)
+}
+
+// TotalTasks returns the number of tasks ever started.
+func (g *Manager) TotalTasks() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.total
+}
+
+// WaitIdle blocks until all running tasks finish or the timeout elapses,
+// and reports whether the manager became idle.
+func (g *Manager) WaitIdle(timeout time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		g.active.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// Close stops the manager: subsequent Dispatch and Run calls fail. Running
+// tasks are allowed to finish; queued tasks are discarded.
+func (g *Manager) Close() {
+	g.mu.Lock()
+	if !g.closed {
+		g.closed = true
+		close(g.done)
+	}
+	g.mu.Unlock()
+}

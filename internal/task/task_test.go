@@ -1,0 +1,258 @@
+package task
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/msg"
+)
+
+func TestDispatchRunsHandler(t *testing.T) {
+	g := NewManager()
+	var got atomic.Int64
+	g.BindEntry(addr.EntryUserBase, func(m *msg.Message) {
+		got.Store(m.GetInt("x", 0))
+	})
+	if err := g.Dispatch(addr.EntryUserBase, msg.New().PutInt("x", 7)); err != nil {
+		t.Fatal(err)
+	}
+	if !g.WaitIdle(time.Second) {
+		t.Fatal("tasks did not drain")
+	}
+	if got.Load() != 7 {
+		t.Errorf("handler saw x = %d", got.Load())
+	}
+	if g.TotalTasks() != 1 {
+		t.Errorf("TotalTasks = %d", g.TotalTasks())
+	}
+}
+
+func TestDispatchNoEntry(t *testing.T) {
+	g := NewManager()
+	err := g.Dispatch(addr.EntryUserBase, msg.New())
+	if !errors.Is(err, ErrNoEntry) {
+		t.Errorf("err = %v, want ErrNoEntry", err)
+	}
+}
+
+func TestBindNilUnbinds(t *testing.T) {
+	g := NewManager()
+	g.BindEntry(5, func(*msg.Message) {})
+	if !g.Bound(5) {
+		t.Fatal("entry not bound")
+	}
+	g.BindEntry(5, nil)
+	if g.Bound(5) {
+		t.Fatal("entry still bound after nil bind")
+	}
+	if err := g.Dispatch(5, msg.New()); !errors.Is(err, ErrNoEntry) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRebindReplacesHandler(t *testing.T) {
+	g := NewManager()
+	var first, second atomic.Int64
+	g.BindEntry(1, func(*msg.Message) { first.Add(1) })
+	g.BindEntry(1, func(*msg.Message) { second.Add(1) })
+	_ = g.Dispatch(1, msg.New())
+	g.WaitIdle(time.Second)
+	if first.Load() != 0 || second.Load() != 1 {
+		t.Errorf("first=%d second=%d", first.Load(), second.Load())
+	}
+}
+
+func TestFilterDropsMessage(t *testing.T) {
+	g := NewManager()
+	var ran atomic.Int64
+	g.BindEntry(1, func(*msg.Message) { ran.Add(1) })
+	g.AddFilter(func(e addr.EntryID, m *msg.Message) bool {
+		return m.GetString("allowed", "") == "yes"
+	})
+	if err := g.Dispatch(1, msg.New().PutString("allowed", "no")); err != nil {
+		t.Fatalf("dropped message should not be an error: %v", err)
+	}
+	if err := g.Dispatch(1, msg.New().PutString("allowed", "yes")); err != nil {
+		t.Fatal(err)
+	}
+	g.WaitIdle(time.Second)
+	if ran.Load() != 1 {
+		t.Errorf("handler ran %d times, want 1", ran.Load())
+	}
+}
+
+func TestFilterChainOrder(t *testing.T) {
+	g := NewManager()
+	var order []int
+	var mu sync.Mutex
+	g.AddFilter(func(addr.EntryID, *msg.Message) bool {
+		mu.Lock()
+		order = append(order, 1)
+		mu.Unlock()
+		return true
+	})
+	g.AddFilter(func(addr.EntryID, *msg.Message) bool {
+		mu.Lock()
+		order = append(order, 2)
+		mu.Unlock()
+		return false // drop, third filter must not run
+	})
+	g.AddFilter(func(addr.EntryID, *msg.Message) bool {
+		mu.Lock()
+		order = append(order, 3)
+		mu.Unlock()
+		return true
+	})
+	g.BindEntry(1, func(*msg.Message) {})
+	_ = g.Dispatch(1, msg.New())
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("filter order = %v", order)
+	}
+}
+
+func TestFilterSeesEntry(t *testing.T) {
+	g := NewManager()
+	var seen atomic.Int64
+	g.AddFilter(func(e addr.EntryID, m *msg.Message) bool {
+		seen.Store(int64(e))
+		return true
+	})
+	g.BindEntry(42, func(*msg.Message) {})
+	_ = g.Dispatch(42, msg.New())
+	if seen.Load() != 42 {
+		t.Errorf("filter saw entry %d", seen.Load())
+	}
+}
+
+func TestConcurrentTasksAcrossEntries(t *testing.T) {
+	// Tasks for different entry points run concurrently: all ten must start
+	// even though none has finished.
+	g := NewManager()
+	release := make(chan struct{})
+	started := make(chan struct{}, 10)
+	for e := addr.EntryID(1); e <= 10; e++ {
+		g.BindEntry(e, func(*msg.Message) {
+			started <- struct{}{}
+			<-release
+		})
+	}
+	for e := addr.EntryID(1); e <= 10; e++ {
+		if err := g.Dispatch(e, msg.New()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		select {
+		case <-started:
+		case <-time.After(time.Second):
+			t.Fatalf("only %d tasks started concurrently", i)
+		}
+	}
+	if g.ActiveTasks() != 10 {
+		t.Errorf("ActiveTasks = %d", g.ActiveTasks())
+	}
+	close(release)
+	if !g.WaitIdle(time.Second) {
+		t.Fatal("tasks did not drain")
+	}
+	if g.ActiveTasks() != 0 {
+		t.Errorf("ActiveTasks after drain = %d", g.ActiveTasks())
+	}
+}
+
+func TestSameEntryTasksRunInDispatchOrder(t *testing.T) {
+	// Tasks for the same entry point are serialized in dispatch order,
+	// mirroring the non-preemptive coroutines of the original system; this
+	// is what lets the replicated-data tool apply ABCAST updates in the
+	// delivery order.
+	g := NewManager()
+	var mu sync.Mutex
+	var order []int64
+	g.BindEntry(1, func(m *msg.Message) {
+		mu.Lock()
+		order = append(order, m.GetInt("i", -1))
+		mu.Unlock()
+	})
+	const k = 200
+	for i := 0; i < k; i++ {
+		if err := g.Dispatch(1, msg.New().PutInt("i", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !g.WaitIdle(5 * time.Second) {
+		t.Fatal("tasks did not drain")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != k {
+		t.Fatalf("ran %d tasks, want %d", len(order), k)
+	}
+	for i, v := range order {
+		if v != int64(i) {
+			t.Fatalf("order violated at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+func TestBlockedEntryDoesNotStallOtherEntries(t *testing.T) {
+	g := NewManager()
+	block := make(chan struct{})
+	g.BindEntry(1, func(*msg.Message) { <-block })
+	var ran atomic.Bool
+	g.BindEntry(2, func(*msg.Message) { ran.Store(true) })
+	_ = g.Dispatch(1, msg.New())
+	_ = g.Dispatch(2, msg.New())
+	deadline := time.Now().Add(time.Second)
+	for !ran.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !ran.Load() {
+		t.Fatal("a blocked entry stalled an unrelated entry")
+	}
+	close(block)
+	g.WaitIdle(time.Second)
+}
+
+func TestRun(t *testing.T) {
+	g := NewManager()
+	var ran atomic.Bool
+	if err := g.Run(func() { ran.Store(true) }); err != nil {
+		t.Fatal(err)
+	}
+	g.WaitIdle(time.Second)
+	if !ran.Load() {
+		t.Error("Run did not execute the function")
+	}
+}
+
+func TestCloseRejectsNewWork(t *testing.T) {
+	g := NewManager()
+	g.BindEntry(1, func(*msg.Message) {})
+	g.Close()
+	if err := g.Dispatch(1, msg.New()); !errors.Is(err, ErrClosed) {
+		t.Errorf("Dispatch after close = %v", err)
+	}
+	if err := g.Run(func() {}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Run after close = %v", err)
+	}
+}
+
+func TestWaitIdleTimeout(t *testing.T) {
+	g := NewManager()
+	block := make(chan struct{})
+	g.BindEntry(1, func(*msg.Message) { <-block })
+	_ = g.Dispatch(1, msg.New())
+	if g.WaitIdle(20 * time.Millisecond) {
+		t.Error("WaitIdle returned true while a task was blocked")
+	}
+	close(block)
+	if !g.WaitIdle(time.Second) {
+		t.Error("WaitIdle timed out after the task unblocked")
+	}
+}

@@ -1,0 +1,219 @@
+// Package bboard implements the bulletin-board tool sketched in Section
+// 3.11 (and [Birman-d]): shared bulletin boards of the sort used in
+// blackboard-style AI applications. Unlike the news service it is linked
+// directly into its clients — every client is a member of the board's group
+// and holds a full copy — and is intended for high-performance shared data
+// management: reads are local, posts are a single multicast.
+//
+// Posts on one board can be totally ordered (ABCAST) or causally ordered
+// (CBCAST), chosen at attach time; reads never involve communication.
+package bboard
+
+import (
+	"sort"
+	"sync"
+
+	isis "repro"
+)
+
+const (
+	fOp      = "bb-op"
+	fBoard   = "bb-board"
+	fSubject = "bb-subject"
+	opPost   = "post"
+)
+
+// Note is one posting on a board.
+type Note struct {
+	Subject string
+	Body    string
+	Data    []byte
+	Poster  isis.Address
+	Seq     int // position in the board's delivery order at this member
+}
+
+// Board is one client's attachment to a shared bulletin board.
+type Board struct {
+	p       *isis.Process
+	gid     isis.Address
+	name    string
+	entry   isis.EntryID
+	ordered bool
+
+	mu       sync.Mutex
+	notes    []Note
+	watchers []func(Note)
+}
+
+// Options configures Attach.
+type Options struct {
+	// Entry is the entry point used for the board's traffic (defaults to
+	// EntryUserBase+3).
+	Entry isis.EntryID
+	// TotalOrder selects ABCAST for posts, so every member sees all posts
+	// in the same order; the default (false) uses CBCAST, which preserves
+	// per-poster and causal order and is cheaper.
+	TotalOrder bool
+}
+
+// Create makes a new board group with the calling process as its first
+// member and returns its attachment.
+func Create(p *isis.Process, name string, opts Options) (*Board, error) {
+	v, err := p.CreateGroup("bboard:" + name)
+	if err != nil {
+		return nil, err
+	}
+	return attach(p, v.Group, name, opts), nil
+}
+
+// Attach joins an existing board (by name) and returns the attachment. The
+// board's existing contents are obtained by state transfer, so the new
+// member starts with the same notes as the others.
+func Attach(p *isis.Process, name string, opts Options) (*Board, error) {
+	gid, err := p.Lookup("bboard:" + name)
+	if err != nil {
+		return nil, err
+	}
+	b := attach(p, gid, name, opts)
+	if _, err := p.Join(gid, isis.JoinOptions{StateReceiver: b.installState}); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func attach(p *isis.Process, gid isis.Address, name string, opts Options) *Board {
+	if opts.Entry == 0 {
+		opts.Entry = isis.EntryUserBase + 3
+	}
+	b := &Board{p: p, gid: gid, name: name, entry: opts.Entry, ordered: opts.TotalOrder}
+	p.BindEntry(opts.Entry, b.onPost)
+	_ = p.SetStateProvider(gid, b.stateBlocks)
+	return b
+}
+
+// Group returns the board's group address.
+func (b *Board) Group() isis.Address { return b.gid }
+
+// Post publishes a note on the board (one multicast; the caller continues
+// immediately).
+func (b *Board) Post(subject, body string, data []byte) error {
+	m := isis.NewMessage().
+		PutString(fOp, opPost).
+		PutString(fBoard, b.name).
+		PutString(fSubject, subject).
+		PutString("body", body)
+	if data != nil {
+		m.PutBytes("data", data)
+	}
+	proto := isis.CBCAST
+	if b.ordered {
+		proto = isis.ABCAST
+	}
+	_, err := b.p.Cast(proto, []isis.Address{b.gid}, b.entry, m, 0)
+	return err
+}
+
+// Read returns the notes currently on the board whose subject matches (an
+// empty subject matches everything). It involves no communication.
+func (b *Board) Read(subject string) []Note {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []Note
+	for _, n := range b.notes {
+		if subject == "" || n.Subject == subject {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Subjects lists the distinct subjects present on the board.
+func (b *Board) Subjects() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	set := map[string]bool{}
+	for _, n := range b.notes {
+		set[n.Subject] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Watch registers a callback invoked for every note as it is posted.
+func (b *Board) Watch(cb func(Note)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.watchers = append(b.watchers, cb)
+}
+
+// Len returns the number of notes on the local copy of the board.
+func (b *Board) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.notes)
+}
+
+func (b *Board) onPost(m *isis.Message) {
+	if m.GetString(fOp, "") != opPost || m.GetString(fBoard, "") != b.name {
+		return
+	}
+	b.mu.Lock()
+	n := Note{
+		Subject: m.GetString(fSubject, ""),
+		Body:    m.GetString("body", ""),
+		Data:    m.GetBytes("data"),
+		Poster:  m.Sender(),
+		Seq:     len(b.notes),
+	}
+	b.notes = append(b.notes, n)
+	watchers := make([]func(Note), len(b.watchers))
+	copy(watchers, b.watchers)
+	b.mu.Unlock()
+	for _, w := range watchers {
+		w(n)
+	}
+}
+
+// stateBlocks encodes the board for a state transfer to a joining member.
+func (b *Board) stateBlocks() [][]byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var blocks [][]byte
+	for _, n := range b.notes {
+		m := isis.NewMessage().
+			PutString(fSubject, n.Subject).
+			PutString("body", n.Body).
+			PutAddress("poster", n.Poster)
+		if n.Data != nil {
+			m.PutBytes("data", n.Data)
+		}
+		enc, err := m.Marshal()
+		if err != nil {
+			continue
+		}
+		blocks = append(blocks, enc)
+	}
+	return blocks
+}
+
+// installState rebuilds the board from transferred state blocks.
+func (b *Board) installState(block []byte, last bool) {
+	if len(block) > 0 {
+		if m, err := isis.UnmarshalMessage(block); err == nil {
+			b.mu.Lock()
+			b.notes = append(b.notes, Note{
+				Subject: m.GetString(fSubject, ""),
+				Body:    m.GetString("body", ""),
+				Data:    m.GetBytes("data"),
+				Poster:  m.GetAddress("poster"),
+				Seq:     len(b.notes),
+			})
+			b.mu.Unlock()
+		}
+	}
+	_ = last
+}

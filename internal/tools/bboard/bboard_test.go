@@ -1,0 +1,155 @@
+package bboard
+
+import (
+	"testing"
+	"time"
+
+	isis "repro"
+)
+
+func cluster(t *testing.T, sites int) *isis.Cluster {
+	t.Helper()
+	c, err := isis.NewCluster(isis.ClusterConfig{Sites: sites, CallTimeout: 2 * time.Second, ReplyTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func wait(t *testing.T, what string, d time.Duration, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestPostAndReadAcrossMembers(t *testing.T) {
+	c := cluster(t, 2)
+	p1, _ := c.Site(1).Spawn()
+	b1, err := Create(p1, "diagnosis", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := c.Site(2).Spawn()
+	b2, err := Attach(p2, "diagnosis", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.Post("sensor", "temperature high", []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	wait(t, "note at both members", 3*time.Second, func() bool {
+		return b1.Len() == 1 && b2.Len() == 1
+	})
+	notes := b2.Read("sensor")
+	if len(notes) != 1 || notes[0].Body != "temperature high" || notes[0].Poster != p1.Address() {
+		t.Errorf("notes = %+v", notes)
+	}
+	if len(b2.Read("absent-subject")) != 0 {
+		t.Error("Read matched an absent subject")
+	}
+	if len(b2.Read("")) != 1 {
+		t.Error("empty subject should match everything")
+	}
+}
+
+func TestAttachReceivesExistingNotesByStateTransfer(t *testing.T) {
+	c := cluster(t, 2)
+	p1, _ := c.Site(1).Spawn()
+	b1, err := Create(p1, "history", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := b1.Post("log", string(rune('a'+i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wait(t, "creator's notes", 2*time.Second, func() bool { return b1.Len() == 3 })
+
+	p2, _ := c.Site(2).Spawn()
+	b2, err := Attach(p2, "history", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, "transferred notes", 3*time.Second, func() bool { return b2.Len() == 3 })
+	notes := b2.Read("log")
+	if len(notes) != 3 || notes[0].Body != "a" || notes[2].Body != "c" {
+		t.Errorf("transferred notes = %+v", notes)
+	}
+}
+
+func TestTotalOrderBoard(t *testing.T) {
+	c := cluster(t, 2)
+	p1, _ := c.Site(1).Spawn()
+	b1, err := Create(p1, "ordered", Options{TotalOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := c.Site(2).Spawn()
+	b2, err := Attach(p2, "ordered", Options{TotalOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent posts from both members: every member must hold them in
+	// the same order.
+	for i := 0; i < 5; i++ {
+		if err := b1.Post("s", "x"+string(rune('0'+i)), nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := b2.Post("s", "y"+string(rune('0'+i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wait(t, "all posts everywhere", 5*time.Second, func() bool {
+		return b1.Len() == 10 && b2.Len() == 10
+	})
+	n1, n2 := b1.Read(""), b2.Read("")
+	for i := range n1 {
+		if n1[i].Body != n2[i].Body {
+			t.Fatalf("order differs at %d: %v vs %v", i, n1[i].Body, n2[i].Body)
+		}
+	}
+}
+
+func TestWatchAndSubjects(t *testing.T) {
+	c := cluster(t, 1)
+	p, _ := c.Site(1).Spawn()
+	b, err := Create(p, "watched", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan Note, 4)
+	b.Watch(func(n Note) { got <- n })
+	if err := b.Post("alpha", "first", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Post("beta", "second", nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-got:
+		case <-time.After(3 * time.Second):
+			t.Fatal("watch callback missing")
+		}
+	}
+	subs := b.Subjects()
+	if len(subs) != 2 || subs[0] != "alpha" || subs[1] != "beta" {
+		t.Errorf("Subjects = %v", subs)
+	}
+}
+
+func TestAttachUnknownBoard(t *testing.T) {
+	c := cluster(t, 1)
+	p, _ := c.Site(1).Spawn()
+	if _, err := Attach(p, "no-such-board", Options{}); err == nil {
+		t.Error("attaching to an unknown board succeeded")
+	}
+}

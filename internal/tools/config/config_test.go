@@ -1,0 +1,186 @@
+package config
+
+import (
+	"testing"
+	"time"
+
+	isis "repro"
+)
+
+func cluster(t *testing.T, sites int) *isis.Cluster {
+	t.Helper()
+	c, err := isis.NewCluster(isis.ClusterConfig{Sites: sites, CallTimeout: 2 * time.Second, ReplyTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func wait(t *testing.T, what string, d time.Duration, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func buildMembers(t *testing.T, c *isis.Cluster, n int) ([]*isis.Process, []*Tool, isis.Address) {
+	t.Helper()
+	procs := make([]*isis.Process, n)
+	tools := make([]*Tool, n)
+	var gid isis.Address
+	for i := 0; i < n; i++ {
+		p, err := c.Site(isis.SiteID(i + 1)).Spawn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = p
+		if i == 0 {
+			v, err := p.CreateGroup("configured")
+			if err != nil {
+				t.Fatal(err)
+			}
+			gid = v.Group
+		} else {
+			if _, err := p.JoinByName("configured", isis.JoinOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tools[i] = New(p, gid)
+	}
+	wait(t, "membership", 5*time.Second, func() bool {
+		v, ok := procs[0].CurrentView(gid)
+		return ok && v.Size() == n
+	})
+	return procs, tools, gid
+}
+
+func TestUpdatePropagatesToAllMembers(t *testing.T) {
+	c := cluster(t, 3)
+	_, tools, _ := buildMembers(t, c, 3)
+
+	if err := tools[1].Update("workers", []byte("4")); err != nil {
+		t.Fatal(err)
+	}
+	wait(t, "configuration at every member", 3*time.Second, func() bool {
+		for _, tool := range tools {
+			v, _ := tool.Read("workers")
+			if string(v) != "4" {
+				return false
+			}
+		}
+		return true
+	})
+	for i, tool := range tools {
+		if tool.Version() != 1 {
+			t.Errorf("member %d version = %d", i, tool.Version())
+		}
+	}
+}
+
+func TestReadIsLocalAndMissingKeyIsNil(t *testing.T) {
+	c := cluster(t, 1)
+	_, tools, _ := buildMembers(t, c, 1)
+	before := c.Counters()
+	v, ver := tools[0].Read("absent")
+	if v != nil || ver != 0 {
+		t.Errorf("Read(absent) = %v, %d", v, ver)
+	}
+	after := c.Counters()
+	if after.CBCASTs != before.CBCASTs || after.ABCASTs != before.ABCASTs || after.GBCASTs != before.GBCASTs {
+		t.Error("a local read caused communication")
+	}
+}
+
+func TestSequentialUpdatesConvergeInOrder(t *testing.T) {
+	c := cluster(t, 2)
+	_, tools, _ := buildMembers(t, c, 2)
+	// Updates are GBCASTs issued by the same member: they are applied in
+	// order everywhere, so the final value is the last one and the version
+	// counts every update.
+	for i, v := range []string{"a", "b", "c"} {
+		if err := tools[0].Update("key", []byte(v)); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+	wait(t, "final configuration", 3*time.Second, func() bool {
+		for _, tool := range tools {
+			val, _ := tool.Read("key")
+			if string(val) != "c" || tool.Version() != 3 {
+				return false
+			}
+		}
+		return true
+	})
+	if keys := tools[1].Keys(); len(keys) != 1 || keys[0] != "key" {
+		t.Errorf("Keys = %v", keys)
+	}
+}
+
+func TestWatchCallbacks(t *testing.T) {
+	c := cluster(t, 1)
+	_, tools, _ := buildMembers(t, c, 1)
+	type ev struct {
+		key string
+		ver uint64
+	}
+	got := make(chan ev, 4)
+	tools[0].Watch(func(key string, value []byte, version uint64) {
+		got <- ev{key, version}
+	})
+	if err := tools[0].Update("limit", []byte("9")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-got:
+		if e.key != "limit" || e.ver != 1 {
+			t.Errorf("watch event = %+v", e)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("watch callback never ran")
+	}
+}
+
+func TestSnapshotInstallRoundTrip(t *testing.T) {
+	c := cluster(t, 1)
+	_, tools, gid := buildMembers(t, c, 1)
+	_ = gid
+	if err := tools[0].Update("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tools[0].Update("b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	wait(t, "updates applied", 2*time.Second, func() bool { return tools[0].Version() == 2 })
+
+	snap := tools[0].Snapshot()
+	p2, err := c.Site(1).Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := p2.CreateGroup("other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(p2, v2.Group)
+	if err := fresh.Install(snap); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := fresh.Read("a"); string(v) != "1" {
+		t.Errorf("installed a = %q", v)
+	}
+	if v, _ := fresh.Read("b"); string(v) != "2" {
+		t.Errorf("installed b = %q", v)
+	}
+	if fresh.Version() != 2 {
+		t.Errorf("installed version = %d", fresh.Version())
+	}
+	if err := fresh.Install([]byte("garbage")); err == nil {
+		t.Error("Install accepted garbage")
+	}
+}

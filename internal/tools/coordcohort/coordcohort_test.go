@@ -1,0 +1,270 @@
+package coordcohort
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	isis "repro"
+)
+
+func cluster(t *testing.T, sites int) *isis.Cluster {
+	t.Helper()
+	c, err := isis.NewCluster(isis.ClusterConfig{Sites: sites, CallTimeout: 2 * time.Second, ReplyTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func wait(t *testing.T, what string, d time.Duration, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// service builds a group whose members all answer requests through the
+// coordinator–cohort tool; the action records which member executed it.
+type service struct {
+	members []*isis.Process
+	tools   []*Tool
+	gid     isis.Address
+
+	mu       sync.Mutex
+	executed []int // indices of members that ran the action
+}
+
+func newService(t *testing.T, c *isis.Cluster, n int) *service {
+	t.Helper()
+	s := &service{}
+	for i := 0; i < n; i++ {
+		p, err := c.Site(isis.SiteID(i + 1)).Spawn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.members = append(s.members, p)
+	}
+	v, err := s.members[0].CreateGroup("cc-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.gid = v.Group
+	for i := 1; i < n; i++ {
+		if _, err := s.members[i].Join(s.gid, isis.JoinOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range s.members {
+		i, p := i, p
+		tool := New(p, s.gid)
+		s.tools = append(s.tools, tool)
+		p.BindEntry(isis.EntryUserBase, func(m *isis.Message) {
+			plist := s.plist()
+			tool.Handle(m, plist, func(req *isis.Message) *isis.Message {
+				s.mu.Lock()
+				s.executed = append(s.executed, i)
+				s.mu.Unlock()
+				return isis.NewMessage().PutString("body", "done-by-"+itoa(i))
+			}, nil)
+		})
+	}
+	wait(t, "service membership", 5*time.Second, func() bool {
+		v, ok := s.members[0].CurrentView(s.gid)
+		return ok && v.Size() == n
+	})
+	return s
+}
+
+func (s *service) plist() []isis.Address {
+	out := make([]isis.Address, len(s.members))
+	for i, p := range s.members {
+		out[i] = p.Address()
+	}
+	return out
+}
+
+func (s *service) executions() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.executed...)
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }
+
+func TestChoosePrefersCallerSite(t *testing.T) {
+	view := isis.View{
+		Members: []isis.Address{
+			procAt(1, 1), procAt(2, 2), procAt(3, 3),
+		},
+	}
+	plist := view.Members
+	caller := procAt(2, 99)
+	if got := Choose(caller, view, plist); got != procAt(2, 2) {
+		t.Errorf("Choose = %v, want the participant at the caller's site", got)
+	}
+	// Caller at a site with no participant: deterministic circular pick.
+	caller = procAt(7, 1)
+	first := Choose(caller, view, plist)
+	if first != Choose(caller, view, plist) {
+		t.Error("Choose is not deterministic")
+	}
+	if !view.Contains(first) {
+		t.Error("Choose picked a non-participant")
+	}
+	// Participants that are not in the view (failed) are skipped.
+	small := isis.View{Members: []isis.Address{procAt(3, 3)}}
+	if got := Choose(caller, small, plist); got != procAt(3, 3) {
+		t.Errorf("Choose with failures = %v", got)
+	}
+	if got := Choose(caller, isis.View{}, plist); !got.IsNil() {
+		t.Errorf("Choose with no operational participants = %v", got)
+	}
+}
+
+func procAt(site isis.SiteID, id uint32) isis.Address {
+	return isis.Address{Site: site, Kind: 1, LocalID: id} // Kind 1 = process
+}
+
+func TestExactlyOneMemberExecutes(t *testing.T) {
+	c := cluster(t, 3)
+	s := newService(t, c, 3)
+	client, err := c.Site(2).Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := client.Query(isis.CBCAST, []isis.Address{s.gid}, isis.EntryUserBase, isis.Text("work"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.GetString("body", "") == "" {
+		t.Error("empty reply from the coordinator")
+	}
+	// Let any stray executions surface, then check exactly one member ran
+	// the action — and that it is the member at the caller's site (site 2,
+	// member index 1), the latency-minimising choice of Section 6.
+	time.Sleep(100 * time.Millisecond)
+	ex := s.executions()
+	if len(ex) != 1 {
+		t.Fatalf("action executed %d times: %v", len(ex), ex)
+	}
+	if ex[0] != 1 {
+		t.Errorf("coordinator was member %d, want the caller-site member 1", ex[0])
+	}
+}
+
+func TestCohortTakesOverAfterCoordinatorFailure(t *testing.T) {
+	c := cluster(t, 3)
+	s := newService(t, c, 3)
+
+	// Override member 1 (the one the client's site selects) with an action
+	// that crashes before replying: the cohorts must detect the failure and
+	// one of them must take over and reply.
+	var killOnce sync.Once
+	crashy := s.members[1]
+	crashyTool := s.tools[1]
+	crashy.BindEntry(isis.EntryUserBase, func(m *isis.Message) {
+		plist := s.plist()
+		crashyTool.Handle(m, plist, func(req *isis.Message) *isis.Message {
+			killOnce.Do(func() {
+				_ = crashy.Kill() // crash before the reply is sent
+			})
+			// The reply below is lost because the process is dead.
+			return isis.Text("never-sent")
+		}, nil)
+	})
+
+	client, err := c.Site(2).Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := client.Query(isis.CBCAST, []isis.Address{s.gid}, isis.EntryUserBase, isis.Text("resilient-work"))
+	if err != nil {
+		t.Fatalf("query failed despite cohorts: %v", err)
+	}
+	body := reply.GetString("body", "")
+	if body != "done-by-0" && body != "done-by-2" {
+		t.Errorf("takeover reply = %q, want a cohort's reply", body)
+	}
+	// A surviving cohort executed the action.
+	wait(t, "cohort execution", 3*time.Second, func() bool {
+		for _, e := range s.executions() {
+			if e == 0 || e == 2 {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func TestNonParticipantsSendNullReplies(t *testing.T) {
+	c := cluster(t, 2)
+	s := newService(t, c, 2)
+	// Rebind member 1 so only member 0 is in the participant list; member 1
+	// must send a null reply and the caller must still get exactly one
+	// normal reply when asking for ALL.
+	p1 := s.members[1]
+	tool1 := s.tools[1]
+	only0 := []isis.Address{s.members[0].Address()}
+	p1.BindEntry(isis.EntryUserBase, func(m *isis.Message) {
+		tool1.Handle(m, only0, func(*isis.Message) *isis.Message { return isis.Text("wrong") }, nil)
+	})
+	p0 := s.members[0]
+	tool0 := s.tools[0]
+	p0.BindEntry(isis.EntryUserBase, func(m *isis.Message) {
+		tool0.Handle(m, only0, func(*isis.Message) *isis.Message { return isis.Text("right") }, nil)
+	})
+
+	client, err := c.Site(1).Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replies, err := client.Cast(isis.CBCAST, []isis.Address{s.gid}, isis.EntryUserBase, isis.Text("q"), isis.All)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 1 || replies[0].GetString("body", "") != "right" {
+		t.Errorf("replies = %v", replies)
+	}
+}
+
+func TestCohortsLearnOfCompletion(t *testing.T) {
+	c := cluster(t, 2)
+	s := newService(t, c, 2)
+	var mu sync.Mutex
+	gotReplyAt := 0
+
+	// Rebind both members with a gotReply callback that records cohort
+	// notification.
+	for i, p := range s.members {
+		i, p := i, p
+		tool := s.tools[i]
+		p.BindEntry(isis.EntryUserBase, func(m *isis.Message) {
+			tool.Handle(m, s.plist(), func(*isis.Message) *isis.Message {
+				return isis.Text("answer")
+			}, func(reply *isis.Message) {
+				mu.Lock()
+				gotReplyAt++
+				mu.Unlock()
+			})
+		})
+	}
+	client, err := c.Site(1).Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Query(isis.CBCAST, []isis.Address{s.gid}, isis.EntryUserBase, isis.Text("q")); err != nil {
+		t.Fatal(err)
+	}
+	wait(t, "cohort notification", 3*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return gotReplyAt >= 1
+	})
+}

@@ -1,0 +1,221 @@
+package news
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	isis "repro"
+)
+
+func cluster(t *testing.T, sites int) *isis.Cluster {
+	t.Helper()
+	c, err := isis.NewCluster(isis.ClusterConfig{Sites: sites, CallTimeout: 2 * time.Second, ReplyTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func wait(t *testing.T, what string, d time.Duration, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+type inbox struct {
+	mu    sync.Mutex
+	posts []Posting
+}
+
+func (i *inbox) add(p Posting) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.posts = append(i.posts, p)
+}
+
+func (i *inbox) bodies() []string {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]string, len(i.posts))
+	for j, p := range i.posts {
+		out[j] = p.Body
+	}
+	return out
+}
+
+func startService(t *testing.T, c *isis.Cluster, sites ...isis.SiteID) []*Server {
+	t.Helper()
+	servers := make([]*Server, len(sites))
+	for i, s := range sites {
+		p, err := c.Site(s).Spawn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := StartServer(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+	}
+	return servers
+}
+
+func TestSubscribeAndPost(t *testing.T) {
+	c := cluster(t, 3)
+	servers := startService(t, c, 1, 2)
+	_ = servers
+
+	subProc, _ := c.Site(3).Spawn()
+	sub, err := NewClient(subProc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &inbox{}
+	if err := sub.Subscribe("alerts", in.add); err != nil {
+		t.Fatal(err)
+	}
+	wait(t, "subscription registered", 3*time.Second, func() bool {
+		return len(servers[0].Subjects()) == 1
+	})
+
+	posterProc, _ := c.Site(1).Spawn()
+	poster, err := NewClient(posterProc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := poster.Post("alerts", "furnace overheating", []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	wait(t, "posting delivery", 5*time.Second, func() bool { return len(in.bodies()) == 1 })
+	in.mu.Lock()
+	p := in.posts[0]
+	in.mu.Unlock()
+	if p.Subject != "alerts" || p.Body != "furnace overheating" || len(p.Data) != 1 {
+		t.Errorf("posting = %+v", p)
+	}
+	if p.Poster != posterProc.Address() {
+		t.Errorf("poster = %v", p.Poster)
+	}
+}
+
+func TestPostingsArriveInOrderAndExactlyOnce(t *testing.T) {
+	c := cluster(t, 3)
+	servers := startService(t, c, 1, 2) // two servers: the forwarding split must not duplicate
+
+	subProc, _ := c.Site(3).Spawn()
+	sub, err := NewClient(subProc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &inbox{}
+	if err := sub.Subscribe("ticker", in.add); err != nil {
+		t.Fatal(err)
+	}
+	wait(t, "subscription registered at both servers", 3*time.Second, func() bool {
+		return len(servers[0].Subjects()) == 1 && len(servers[1].Subjects()) == 1
+	})
+	posterProc, _ := c.Site(2).Spawn()
+	poster, err := NewClient(posterProc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 10
+	for i := 0; i < k; i++ {
+		if err := poster.Post("ticker", string(rune('a'+i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wait(t, "all postings", 5*time.Second, func() bool { return len(in.bodies()) >= k })
+	time.Sleep(50 * time.Millisecond)
+	got := in.bodies()
+	if len(got) != k {
+		t.Fatalf("received %d postings, want exactly %d (no duplicates)", len(got), k)
+	}
+	for i := 0; i < k; i++ {
+		if got[i] != string(rune('a'+i)) {
+			t.Fatalf("order violated: %v", got)
+		}
+	}
+}
+
+func TestSubjectsAreIndependentAndUnsubscribeWorks(t *testing.T) {
+	c := cluster(t, 2)
+	servers := startService(t, c, 1)
+	subProc, _ := c.Site(2).Spawn()
+	sub, err := NewClient(subProc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts := &inbox{}
+	sports := &inbox{}
+	if err := sub.Subscribe("alerts", alerts.add); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Subscribe("sports", sports.add); err != nil {
+		t.Fatal(err)
+	}
+	// Subscriptions are asynchronous; a posting concurrent with the
+	// enrollment may legitimately miss it, so wait until the service has
+	// registered both subjects before posting.
+	wait(t, "subscriptions registered", 3*time.Second, func() bool {
+		return len(servers[0].Subjects()) == 2
+	})
+	posterProc, _ := c.Site(1).Spawn()
+	poster, _ := NewClient(posterProc)
+	_ = poster.Post("alerts", "a1", nil)
+	_ = poster.Post("sports", "s1", nil)
+	wait(t, "both subjects", 5*time.Second, func() bool {
+		return len(alerts.bodies()) == 1 && len(sports.bodies()) == 1
+	})
+	if err := sub.Unsubscribe("alerts"); err != nil {
+		t.Fatal(err)
+	}
+	wait(t, "unsubscribe registered", 3*time.Second, func() bool {
+		return len(servers[0].Subjects()) == 1
+	})
+	_ = poster.Post("alerts", "a2", nil)
+	_ = poster.Post("sports", "s2", nil)
+	wait(t, "second sports posting", 5*time.Second, func() bool { return len(sports.bodies()) == 2 })
+	time.Sleep(50 * time.Millisecond)
+	if len(alerts.bodies()) != 1 {
+		t.Errorf("unsubscribed subject still delivered: %v", alerts.bodies())
+	}
+}
+
+func TestServerSubjectsView(t *testing.T) {
+	c := cluster(t, 2)
+	servers := startService(t, c, 1)
+	subProc, _ := c.Site(2).Spawn()
+	sub, err := NewClient(subProc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sub.Subscribe("x", func(Posting) {})
+	_ = sub.Subscribe("y", func(Posting) {})
+	wait(t, "subjects registered", 3*time.Second, func() bool {
+		return len(servers[0].Subjects()) == 2
+	})
+	subs := servers[0].Subjects()
+	if subs[0] != "x" || subs[1] != "y" {
+		t.Errorf("Subjects = %v", subs)
+	}
+	if servers[0].Group().IsNil() {
+		t.Error("server group is nil")
+	}
+}
+
+func TestClientWithoutServiceFails(t *testing.T) {
+	c := cluster(t, 1)
+	p, _ := c.Site(1).Spawn()
+	if _, err := NewClient(p); err == nil {
+		t.Error("NewClient succeeded with no news servers running")
+	}
+}

@@ -1,0 +1,89 @@
+// Package protect implements the protection tool of Section 3.10: incoming
+// messages are validated using the sender address, which the system
+// guarantees cannot be forged (it is a system field set by the protocols
+// process, and any client-supplied value is stripped before transmission).
+// Messages from unknown or untrusted clients are presented to a
+// user-specified routine that decides what to do with them.
+package protect
+
+import (
+	"sync"
+
+	isis "repro"
+)
+
+// Decision is what the validation routine decides about a suspect message.
+type Decision int
+
+const (
+	// Reject silently drops the message.
+	Reject Decision = iota
+	// Accept lets the message through to its entry point.
+	Accept
+)
+
+// Validator examines a message from a sender that is not on the allow list
+// and decides its fate, based on the sender and the message contents.
+type Validator func(sender isis.Address, entry isis.EntryID, m *isis.Message) Decision
+
+// Guard is the per-process protection state: an allow list plus a validator
+// for everything else. Install attaches it to the process's filter chain.
+type Guard struct {
+	mu       sync.Mutex
+	allowed  map[isis.Address]bool
+	validate Validator
+	rejected uint64
+}
+
+// Install creates a guard and attaches it to the process. With a nil
+// validator, messages from unknown senders are rejected.
+func Install(p *isis.Process, validate Validator) *Guard {
+	g := &Guard{allowed: make(map[isis.Address]bool), validate: validate}
+	p.AddFilter(func(entry isis.EntryID, m *isis.Message) bool {
+		return g.check(entry, m)
+	})
+	return g
+}
+
+// Allow marks senders as trusted: their messages always pass.
+func (g *Guard) Allow(senders ...isis.Address) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, s := range senders {
+		g.allowed[s.Base()] = true
+	}
+}
+
+// Revoke removes senders from the allow list.
+func (g *Guard) Revoke(senders ...isis.Address) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, s := range senders {
+		delete(g.allowed, s.Base())
+	}
+}
+
+// Rejected returns how many messages the guard has dropped.
+func (g *Guard) Rejected() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.rejected
+}
+
+func (g *Guard) check(entry isis.EntryID, m *isis.Message) bool {
+	sender := m.Sender()
+	g.mu.Lock()
+	trusted := g.allowed[sender.Base()]
+	validate := g.validate
+	g.mu.Unlock()
+	if trusted {
+		return true
+	}
+	if validate != nil && validate(sender, entry, m) == Accept {
+		return true
+	}
+	g.mu.Lock()
+	g.rejected++
+	g.mu.Unlock()
+	return false
+}

@@ -1,0 +1,159 @@
+package protect
+
+import (
+	"testing"
+	"time"
+
+	isis "repro"
+)
+
+func cluster(t *testing.T) *isis.Cluster {
+	t.Helper()
+	c, err := isis.NewCluster(isis.ClusterConfig{Sites: 2, CallTimeout: 2 * time.Second, ReplyTimeout: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestGuardRejectsUnknownSenders(t *testing.T) {
+	c := cluster(t)
+	server, err := c.Site(1).Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := make(chan string, 10)
+	server.BindEntry(isis.EntryUserBase, func(m *isis.Message) {
+		delivered <- m.GetString("body", "")
+	})
+	guard := Install(server, nil) // nil validator: reject all unknown senders
+	v, err := server.CreateGroup("protected")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trusted, _ := c.Site(2).Spawn()
+	untrusted, _ := c.Site(2).Spawn()
+	guard.Allow(trusted.Address())
+
+	if _, err := trusted.Cast(isis.CBCAST, []isis.Address{v.Group}, isis.EntryUserBase, isis.Text("from-trusted"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := untrusted.Cast(isis.CBCAST, []isis.Address{v.Group}, isis.EntryUserBase, isis.Text("from-untrusted"), 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-delivered:
+		if got != "from-trusted" {
+			t.Fatalf("delivered %q", got)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("trusted message never delivered")
+	}
+	// The untrusted message must have been dropped.
+	select {
+	case got := <-delivered:
+		t.Fatalf("untrusted message delivered: %q", got)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if guard.Rejected() == 0 {
+		t.Error("Rejected counter did not advance")
+	}
+}
+
+func TestValidatorCanAccept(t *testing.T) {
+	c := cluster(t)
+	server, err := c.Site(1).Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := make(chan string, 10)
+	server.BindEntry(isis.EntryUserBase, func(m *isis.Message) {
+		delivered <- m.GetString("body", "")
+	})
+	Install(server, func(sender isis.Address, entry isis.EntryID, m *isis.Message) Decision {
+		if m.GetString("password", "") == "sesame" {
+			return Accept
+		}
+		return Reject
+	})
+	v, err := server.CreateGroup("validated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, _ := c.Site(2).Spawn()
+	good := isis.Text("with-password")
+	good.PutString("password", "sesame")
+	bad := isis.Text("without-password")
+	if _, err := client.Cast(isis.CBCAST, []isis.Address{v.Group}, isis.EntryUserBase, bad, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Cast(isis.CBCAST, []isis.Address{v.Group}, isis.EntryUserBase, good, 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-delivered:
+		if got != "with-password" {
+			t.Fatalf("delivered %q, want the validated message only", got)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("validated message never delivered")
+	}
+}
+
+func TestSenderAddressCannotBeForged(t *testing.T) {
+	c := cluster(t)
+	server, err := c.Site(1).Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	senders := make(chan isis.Address, 10)
+	server.BindEntry(isis.EntryUserBase, func(m *isis.Message) {
+		senders <- m.Sender()
+	})
+	v, err := server.CreateGroup("unforgeable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker, _ := c.Site(2).Spawn()
+	// The attacker tries to claim the server's own address as the sender;
+	// the system field is stripped and replaced with the true sender.
+	forged := isis.Text("spoof")
+	forged.PutAddress("@sender", server.Address())
+	if _, err := attacker.Cast(isis.CBCAST, []isis.Address{v.Group}, isis.EntryUserBase, forged, 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-senders:
+		if got != attacker.Address() {
+			t.Errorf("sender = %v, want the attacker's real address %v", got, attacker.Address())
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("message never delivered")
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	c := cluster(t)
+	server, _ := c.Site(1).Spawn()
+	got := make(chan string, 10)
+	server.BindEntry(isis.EntryUserBase, func(m *isis.Message) { got <- m.GetString("body", "") })
+	guard := Install(server, nil)
+	v, _ := server.CreateGroup("revocable")
+	client, _ := c.Site(2).Spawn()
+	guard.Allow(client.Address())
+	_, _ = client.Cast(isis.CBCAST, []isis.Address{v.Group}, isis.EntryUserBase, isis.Text("one"), 0)
+	select {
+	case <-got:
+	case <-time.After(3 * time.Second):
+		t.Fatal("allowed message not delivered")
+	}
+	guard.Revoke(client.Address())
+	_, _ = client.Cast(isis.CBCAST, []isis.Address{v.Group}, isis.EntryUserBase, isis.Text("two"), 0)
+	select {
+	case m := <-got:
+		t.Fatalf("revoked sender's message delivered: %q", m)
+	case <-time.After(100 * time.Millisecond):
+	}
+}

@@ -1,0 +1,273 @@
+// Package sema implements the replicated semaphore tool of Section 3.5: a
+// fault-tolerant semaphore managed by the members of a process group, with
+// fair (FIFO) request queueing. If the holder of the semaphore fails, the
+// semaphore is automatically released (when the group observes the failure
+// view) so the system never deadlocks on a dead process.
+//
+// Requests are ordered with ABCAST, so every manager sees the same queue and
+// the decision of who to grant next needs no extra communication: the oldest
+// manager sends the grant reply (Table 1: P is "1 ABCAST, all replies"-ish —
+// here one ABCAST plus one reply; V is one asynchronous CBCAST).
+package sema
+
+import (
+	"sync"
+
+	isis "repro"
+)
+
+const (
+	fOp   = "sem-op"
+	fName = "sem-name"
+	opP   = "P"
+	opV   = "V"
+)
+
+// Manager is one group member's replica of the semaphore state. All members
+// of the managing group must create a Manager with the same name and
+// initial count.
+type Manager struct {
+	p     *isis.Process
+	gid   isis.Address
+	name  string
+	entry isis.EntryID
+
+	mu      sync.Mutex
+	count   int
+	waiting []waiter // FIFO queue of blocked P requests
+	holders map[isis.Address]*holding
+}
+
+// holding records how many units a process holds and whether it was a group
+// member when granted (only member holders can be observed to fail, so only
+// their units are auto-released on a failure view).
+type holding struct {
+	units  int
+	member bool
+}
+
+type waiter struct {
+	req    *isis.Message
+	holder isis.Address
+	member bool // the requester was a group member when it queued
+}
+
+// Options configures a semaphore manager.
+type Options struct {
+	// Initial is the initial semaphore count (default 1: a mutex).
+	Initial int
+	// Entry is the entry point used for the semaphore's traffic; defaults
+	// to EntryUserBase+2.
+	Entry isis.EntryID
+}
+
+// NewManager attaches a group member as a manager of the named semaphore.
+func NewManager(p *isis.Process, gid isis.Address, name string, opts Options) *Manager {
+	if opts.Initial == 0 {
+		opts.Initial = 1
+	}
+	if opts.Entry == 0 {
+		opts.Entry = isis.EntryUserBase + 2
+	}
+	m := &Manager{
+		p:       p,
+		gid:     gid,
+		name:    name,
+		entry:   opts.Entry,
+		count:   opts.Initial,
+		holders: make(map[isis.Address]*holding),
+	}
+	p.BindEntry(opts.Entry, m.onRequest)
+	p.Monitor(gid, m.onViewChange)
+	return m
+}
+
+// onRequest applies one P or V operation; because requests arrive by ABCAST
+// every manager applies them in the same order and reaches the same state.
+func (m *Manager) onRequest(req *isis.Message) {
+	if req.GetString(fName, "") != m.name {
+		return
+	}
+	switch req.GetString(fOp, "") {
+	case opP:
+		m.handleP(req)
+	case opV:
+		m.handleV(req)
+	}
+}
+
+func (m *Manager) handleP(req *isis.Message) {
+	holder := req.Sender()
+	m.mu.Lock()
+	grant := false
+	if m.count > 0 {
+		m.count--
+		m.grantToLocked(holder.Base())
+		grant = true
+	} else {
+		member := false
+		if v, ok := m.p.CurrentView(m.gid); ok {
+			member = v.Contains(holder)
+		}
+		m.waiting = append(m.waiting, waiter{req: req, holder: holder.Base(), member: member})
+	}
+	iAmGranter := m.iAmGranterLocked()
+	m.mu.Unlock()
+
+	if grant {
+		if iAmGranter {
+			_ = m.p.Reply(req, isis.NewMessage().PutString("sem-grant", m.name))
+		} else {
+			_ = m.p.NullReply(req)
+		}
+	}
+	// Blocked requests are answered later, when a V (or a failure) releases
+	// the semaphore; managers other than the granter stay silent so the
+	// requester keeps exactly one pending reply slot.
+}
+
+func (m *Manager) handleV(req *isis.Message) {
+	m.mu.Lock()
+	holder := req.Sender().Base()
+	if h, ok := m.holders[holder]; ok {
+		h.units--
+		if h.units <= 0 {
+			delete(m.holders, holder)
+		}
+	}
+	grants := m.releaseLocked(1)
+	iAmGranter := m.iAmGranterLocked()
+	m.mu.Unlock()
+	m.sendGrants(grants, iAmGranter)
+}
+
+// grantToLocked records one unit held by the given process.
+func (m *Manager) grantToLocked(holder isis.Address) {
+	h, ok := m.holders[holder]
+	if !ok {
+		member := false
+		if v, okv := m.p.CurrentView(m.gid); okv {
+			member = v.Contains(holder)
+		}
+		h = &holding{member: member}
+		m.holders[holder] = h
+	}
+	h.units++
+}
+
+// releaseLocked returns the waiters granted by releasing n units.
+func (m *Manager) releaseLocked(n int) []waiter {
+	m.count += n
+	var grants []waiter
+	for m.count > 0 && len(m.waiting) > 0 {
+		w := m.waiting[0]
+		m.waiting = m.waiting[1:]
+		m.count--
+		m.grantToLocked(w.holder)
+		grants = append(grants, w)
+	}
+	return grants
+}
+
+// iAmGranterLocked reports whether this manager is the one that sends grant
+// replies: the oldest member of the current view. Every manager computes the
+// same answer from the same view.
+func (m *Manager) iAmGranterLocked() bool {
+	v, ok := m.p.CurrentView(m.gid)
+	if !ok {
+		return false
+	}
+	return v.Coordinator().Base() == m.p.Address().Base()
+}
+
+func (m *Manager) sendGrants(grants []waiter, iAmGranter bool) {
+	for _, w := range grants {
+		if iAmGranter {
+			_ = m.p.Reply(w.req, isis.NewMessage().PutString("sem-grant", m.name))
+		} else {
+			_ = m.p.NullReply(w.req)
+		}
+	}
+}
+
+// onViewChange implements the automatic release of Section 3.5: when a
+// holder that was a group member disappears from the view (it failed or
+// left), its units are released and the next waiters are granted. Holders
+// that were never members are external clients whose failure the group
+// cannot observe, so their units are untouched.
+func (m *Manager) onViewChange(v isis.View) {
+	m.mu.Lock()
+	released := 0
+	for holder, h := range m.holders {
+		if h.member && !v.Contains(holder) {
+			released += h.units
+			delete(m.holders, holder)
+		}
+	}
+	// Drop queued requests from departed members too, so a grant is never
+	// sent to a dead process. Requests from external clients stay queued
+	// (their failure is not observable through this group's views).
+	kept := m.waiting[:0]
+	for _, w := range m.waiting {
+		if !w.member || v.Contains(w.holder) {
+			kept = append(kept, w)
+		}
+	}
+	m.waiting = kept
+	var grants []waiter
+	if released > 0 {
+		grants = m.releaseLocked(released)
+	}
+	iAmGranter := v.Coordinator().Base() == m.p.Address().Base()
+	m.mu.Unlock()
+	m.sendGrants(grants, iAmGranter)
+}
+
+// Count returns the current semaphore count (for tests and monitoring).
+func (m *Manager) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.count
+}
+
+// QueueLength returns the number of blocked P requests.
+func (m *Manager) QueueLength() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.waiting)
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+
+// Client acquires and releases a semaphore managed by a group.
+type Client struct {
+	p     *isis.Process
+	gid   isis.Address
+	name  string
+	entry isis.EntryID
+}
+
+// NewClient builds a client handle; entry must match the managers' Options.
+func NewClient(p *isis.Process, gid isis.Address, name string, entry isis.EntryID) *Client {
+	if entry == 0 {
+		entry = isis.EntryUserBase + 2
+	}
+	return &Client{p: p, gid: gid, name: name, entry: entry}
+}
+
+// P acquires one unit, blocking until it is granted (the grant arrives as
+// the reply to the ABCAST request).
+func (c *Client) P() error {
+	m := isis.NewMessage().PutString(fOp, opP).PutString(fName, c.name)
+	_, err := c.p.Query(isis.ABCAST, []isis.Address{c.gid}, c.entry, m)
+	return err
+}
+
+// V releases one unit (one ABCAST so every manager applies it in the same
+// order relative to P requests).
+func (c *Client) V() error {
+	m := isis.NewMessage().PutString(fOp, opV).PutString(fName, c.name)
+	_, err := c.p.Cast(isis.ABCAST, []isis.Address{c.gid}, c.entry, m, 0)
+	return err
+}

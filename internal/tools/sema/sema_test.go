@@ -1,0 +1,228 @@
+package sema
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	isis "repro"
+)
+
+func cluster(t *testing.T, sites int) *isis.Cluster {
+	t.Helper()
+	c, err := isis.NewCluster(isis.ClusterConfig{Sites: sites, CallTimeout: 2 * time.Second, ReplyTimeout: 8 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func wait(t *testing.T, what string, d time.Duration, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// buildSemaphore creates n manager members plus the given initial count.
+func buildSemaphore(t *testing.T, c *isis.Cluster, n, initial int) ([]*isis.Process, []*Manager, isis.Address) {
+	t.Helper()
+	procs := make([]*isis.Process, n)
+	mgrs := make([]*Manager, n)
+	var gid isis.Address
+	for i := 0; i < n; i++ {
+		p, err := c.Site(isis.SiteID(i + 1)).Spawn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = p
+		if i == 0 {
+			v, err := p.CreateGroup("mutex-svc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			gid = v.Group
+		} else {
+			if _, err := p.JoinByName("mutex-svc", isis.JoinOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mgrs[i] = NewManager(p, gid, "lock", Options{Initial: initial})
+	}
+	wait(t, "semaphore membership", 5*time.Second, func() bool {
+		v, ok := procs[0].CurrentView(gid)
+		return ok && v.Size() == n
+	})
+	return procs, mgrs, gid
+}
+
+func TestPAndVBasic(t *testing.T) {
+	c := cluster(t, 3)
+	_, mgrs, gid := buildSemaphore(t, c, 2, 1)
+	client, err := c.Site(3).Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(client, gid, "lock", 0)
+	if err := cl.P(); err != nil {
+		t.Fatalf("P: %v", err)
+	}
+	wait(t, "count to drop", 2*time.Second, func() bool {
+		return mgrs[0].Count() == 0 && mgrs[1].Count() == 0
+	})
+	if err := cl.V(); err != nil {
+		t.Fatalf("V: %v", err)
+	}
+	wait(t, "count to recover", 2*time.Second, func() bool {
+		return mgrs[0].Count() == 1 && mgrs[1].Count() == 1
+	})
+}
+
+func TestMutualExclusion(t *testing.T) {
+	c := cluster(t, 3)
+	_, _, gid := buildSemaphore(t, c, 2, 1)
+
+	// Three clients hammer a critical section guarded by the replicated
+	// mutex; at most one may be inside at a time.
+	var inside atomic.Int32
+	var maxInside atomic.Int32
+	var violations atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		p, err := c.Site(3).Spawn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := NewClient(p, gid, "lock", 0)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 3; j++ {
+				if err := cl.P(); err != nil {
+					t.Errorf("P: %v", err)
+					return
+				}
+				n := inside.Add(1)
+				if n > 1 {
+					violations.Add(1)
+				}
+				if n > maxInside.Load() {
+					maxInside.Store(n)
+				}
+				time.Sleep(2 * time.Millisecond)
+				inside.Add(-1)
+				if err := cl.V(); err != nil {
+					t.Errorf("V: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if violations.Load() > 0 {
+		t.Errorf("mutual exclusion violated %d times (max inside %d)", violations.Load(), maxInside.Load())
+	}
+}
+
+func TestFIFOGrantOrder(t *testing.T) {
+	c := cluster(t, 2)
+	procs, mgrs, gid := buildSemaphore(t, c, 1, 1)
+	_ = procs
+
+	// The holder takes the lock; two more requests queue. When released,
+	// grants go out in request (FIFO) order.
+	holderProc, _ := c.Site(2).Spawn()
+	holder := NewClient(holderProc, gid, "lock", 0)
+	if err := holder.P(); err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		p, _ := c.Site(2).Spawn()
+		cl := NewClient(p, gid, "lock", 0)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := cl.P(); err != nil {
+				t.Errorf("queued P: %v", err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			_ = cl.V()
+		}(i)
+		// Space the requests out so their ABCAST order is deterministic.
+		wait(t, "request to queue", 3*time.Second, func() bool {
+			return mgrs[0].QueueLength() == i+1
+		})
+	}
+	if err := holder.V(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Errorf("grant order = %v, want FIFO", order)
+	}
+}
+
+func TestAutomaticReleaseOnHolderFailure(t *testing.T) {
+	c := cluster(t, 3)
+	procs, mgrs, gid := buildSemaphore(t, c, 2, 1)
+
+	// A member of the managing group acquires the lock and then fails; the
+	// semaphore must be released automatically so a waiting client gets it.
+	holder := NewClient(procs[1], gid, "lock", 0)
+	if err := holder.P(); err != nil {
+		t.Fatal(err)
+	}
+	waiterProc, _ := c.Site(3).Spawn()
+	waiter := NewClient(waiterProc, gid, "lock", 0)
+	acquired := make(chan error, 1)
+	go func() { acquired <- waiter.P() }()
+	wait(t, "waiter to queue", 3*time.Second, func() bool { return mgrs[0].QueueLength() == 1 })
+
+	if err := procs[1].Kill(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatalf("waiter P after holder failure: %v", err)
+		}
+	case <-time.After(8 * time.Second):
+		t.Fatal("semaphore was not released when its holder failed")
+	}
+}
+
+func TestCountingSemaphore(t *testing.T) {
+	c := cluster(t, 2)
+	_, mgrs, gid := buildSemaphore(t, c, 1, 2)
+	a, _ := c.Site(2).Spawn()
+	b, _ := c.Site(2).Spawn()
+	ca := NewClient(a, gid, "lock", 0)
+	cb := NewClient(b, gid, "lock", 0)
+	if err := ca.P(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cb.P(); err != nil {
+		t.Fatal(err)
+	}
+	if mgrs[0].Count() != 0 {
+		t.Errorf("count = %d after two acquisitions of a 2-semaphore", mgrs[0].Count())
+	}
+	_ = ca.V()
+	_ = cb.V()
+	wait(t, "count restored", 2*time.Second, func() bool { return mgrs[0].Count() == 2 })
+}

@@ -1,0 +1,106 @@
+// Package statexfer implements the state transfer tool of Section 3.8: a
+// convenient way to join a pre-existing process group while transferring the
+// group state from the operational members to the joiner. The transfer is
+// virtually synchronous with respect to incoming requests: up to the instant
+// of the join the old members receive requests and the joiner does not; from
+// the join on, the joiner receives requests too — but only after it has
+// received the state that was current at the join. The kernel enforces that
+// cut (deliveries to the joiner are held until the last state block
+// arrives); this package adds block encoding helpers and a blocking
+// JoinWithState call.
+//
+// Process migration (Section 3.8) is expressed with this tool: start a new
+// process, JoinWithState, then have the old member Leave.
+package statexfer
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	isis "repro"
+)
+
+// ErrTransferTimeout is returned when the state transfer does not complete
+// within the configured timeout.
+var ErrTransferTimeout = errors.New("statexfer: state transfer timed out")
+
+// Provide registers fn as the member's state encoder, splitting its output
+// into blocks of at most blockSize bytes (the paper's "series of variable
+// sized blocks"; small transfers travel as ISIS messages, large ones are
+// fragmented by the transport exactly like any large message).
+func Provide(p *isis.Process, gid isis.Address, blockSize int, fn func() []byte) error {
+	if blockSize <= 0 {
+		blockSize = 16 * 1024
+	}
+	return p.SetStateProvider(gid, func() [][]byte {
+		data := fn()
+		if len(data) == 0 {
+			return nil
+		}
+		var blocks [][]byte
+		for len(data) > 0 {
+			n := blockSize
+			if n > len(data) {
+				n = len(data)
+			}
+			blocks = append(blocks, append([]byte(nil), data[:n]...))
+			data = data[n:]
+		}
+		return blocks
+	})
+}
+
+// ProvideBlocks registers a block-oriented provider directly (for state that
+// is naturally chunked, like the replicated data tool's checkpoints).
+func ProvideBlocks(p *isis.Process, gid isis.Address, fn func() [][]byte) error {
+	return p.SetStateProvider(gid, fn)
+}
+
+// JoinWithState joins the group, blocks until the state transfer completes,
+// and hands the reassembled state to install. It returns the first view that
+// includes the new member.
+func JoinWithState(p *isis.Process, gid isis.Address, timeout time.Duration, install func(state []byte)) (isis.View, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	var mu sync.Mutex
+	var buf []byte
+	done := make(chan struct{})
+	var once sync.Once
+
+	view, err := p.Join(gid, isis.JoinOptions{
+		StateReceiver: func(block []byte, last bool) {
+			mu.Lock()
+			buf = append(buf, block...)
+			mu.Unlock()
+			if last {
+				once.Do(func() { close(done) })
+			}
+		},
+	})
+	if err != nil {
+		return isis.View{}, err
+	}
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		return view, ErrTransferTimeout
+	}
+	if install != nil {
+		mu.Lock()
+		state := append([]byte(nil), buf...)
+		mu.Unlock()
+		install(state)
+	}
+	return view, nil
+}
+
+// JoinWithStateByName resolves the group by name first.
+func JoinWithStateByName(p *isis.Process, name string, timeout time.Duration, install func(state []byte)) (isis.View, error) {
+	gid, err := p.Lookup(name)
+	if err != nil {
+		return isis.View{}, err
+	}
+	return JoinWithState(p, gid, timeout, install)
+}

@@ -1,0 +1,135 @@
+package statexfer
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	isis "repro"
+)
+
+func cluster(t *testing.T, sites int) *isis.Cluster {
+	t.Helper()
+	c, err := isis.NewCluster(isis.ClusterConfig{Sites: sites, CallTimeout: 2 * time.Second, ReplyTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestJoinWithStateTransfersWholeState(t *testing.T) {
+	c := cluster(t, 2)
+	first, err := c.Site(1).Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := first.CreateGroup("xfer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 KB of state: exercises block splitting and transport
+	// fragmentation.
+	state := bytes.Repeat([]byte("0123456789abcdef"), 6400)
+	if err := Provide(first, v.Group, 8*1024, func() []byte { return state }); err != nil {
+		t.Fatal(err)
+	}
+
+	joiner, err := c.Site(2).Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	view, err := JoinWithState(joiner, v.Group, 10*time.Second, func(s []byte) { got = s })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Size() != 2 || !view.Contains(joiner.Address()) {
+		t.Errorf("join view = %v", view)
+	}
+	if !bytes.Equal(got, state) {
+		t.Errorf("transferred %d bytes, want %d, equal=%v", len(got), len(state), bytes.Equal(got, state))
+	}
+}
+
+func TestJoinWithStateByNameAndEmptyState(t *testing.T) {
+	c := cluster(t, 2)
+	first, err := c.Site(1).Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := first.CreateGroup("empty-state"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Provide(first, mustLookup(t, first, "empty-state"), 0, func() []byte { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	joiner, err := c.Site(2).Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	view, err := JoinWithStateByName(joiner, "empty-state", 5*time.Second, func(s []byte) {
+		called = true
+		if len(s) != 0 {
+			t.Errorf("expected empty state, got %d bytes", len(s))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Error("install was not called for an empty state")
+	}
+	if view.Size() != 2 {
+		t.Errorf("view = %v", view)
+	}
+}
+
+func TestJoinWithStateUnknownGroup(t *testing.T) {
+	c := cluster(t, 1)
+	p, err := c.Site(1).Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := JoinWithStateByName(p, "does-not-exist", time.Second, nil); err == nil {
+		t.Error("joining an unknown group succeeded")
+	}
+}
+
+func TestProvideBlocks(t *testing.T) {
+	c := cluster(t, 2)
+	first, err := c.Site(1).Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := first.CreateGroup("blocky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ProvideBlocks(first, v.Group, func() [][]byte {
+		return [][]byte{[]byte("alpha"), []byte("beta")}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	joiner, err := c.Site(2).Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	if _, err := JoinWithState(joiner, v.Group, 5*time.Second, func(s []byte) { got = s }); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "alphabeta" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func mustLookup(t *testing.T, p *isis.Process, name string) isis.Address {
+	t.Helper()
+	gid, err := p.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gid
+}

@@ -1,0 +1,200 @@
+// Package txn implements the transactional facility sketched in Section
+// 3.11: a simple subroutine interface providing begin, commit, and abort,
+// with two-phase read/write locks and transactional access to replicated
+// data. The paper positions transactions as the right mechanism for
+// short-lived access to shared data, to be layered on top of the virtual
+// synchrony toolkit rather than underneath it — which is exactly how this
+// package is built: locks are granted by a lock-manager group whose requests
+// travel by ABCAST (so every manager sees the same queue), and writes are
+// buffered locally and applied through the replicated data tool's update
+// path at commit.
+package txn
+
+import (
+	"errors"
+	"sync"
+
+	isis "repro"
+	"repro/internal/tools/sema"
+)
+
+// Errors.
+var (
+	ErrFinished   = errors.New("txn: transaction already committed or aborted")
+	ErrLockFailed = errors.New("txn: could not acquire lock")
+)
+
+// Write is one buffered update: an opaque message applied through the given
+// apply function at commit time.
+type Write struct {
+	Apply func() error
+}
+
+// Domain is a transactional domain: a lock-manager group plus the client
+// processes that run transactions against it. Each named lock is a
+// replicated semaphore (exclusive, 2-phase).
+type Domain struct {
+	p   *isis.Process
+	gid isis.Address
+
+	mu      sync.Mutex
+	clients map[string]*sema.Client
+}
+
+// NewDomain attaches a client process to a transactional domain managed by
+// the given group. The group's members must have called ServeDomain.
+func NewDomain(p *isis.Process, gid isis.Address) *Domain {
+	return &Domain{p: p, gid: gid, clients: make(map[string]*sema.Client)}
+}
+
+// ServeDomain attaches a group member as a lock manager for the named locks.
+// Every member of the group must call it with the same lock names.
+func ServeDomain(p *isis.Process, gid isis.Address, lockNames []string) []*sema.Manager {
+	managers := make([]*sema.Manager, 0, len(lockNames))
+	for i, name := range lockNames {
+		managers = append(managers, sema.NewManager(p, gid, name, sema.Options{
+			Initial: 1,
+			Entry:   isis.EntryUserBase + 10 + isis.EntryID(i),
+		}))
+	}
+	return managers
+}
+
+// lockClient returns (creating if needed) the semaphore client for a lock.
+func (d *Domain) lockClient(name string, idx int) *sema.Client {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.clients[name]
+	if !ok {
+		c = sema.NewClient(d.p, d.gid, name, isis.EntryUserBase+10+isis.EntryID(idx))
+		d.clients[name] = c
+	}
+	return c
+}
+
+// Txn is one transaction: two-phase locking (all locks acquired before any
+// is released), buffered writes applied at commit, everything released at
+// commit or abort.
+type Txn struct {
+	domain    *Domain
+	lockNames []string // the domain's lock name space, in declaration order
+
+	mu       sync.Mutex
+	held     []string
+	writes   []Write
+	finished bool
+}
+
+// Begin starts a transaction in the domain. lockNames is the domain's lock
+// name space in the same order passed to ServeDomain (the index determines
+// the lock's entry point).
+func (d *Domain) Begin(lockNames []string) *Txn {
+	return &Txn{domain: d, lockNames: lockNames}
+}
+
+// Lock acquires the named lock (blocking) unless the transaction already
+// holds it. Locks are held until Commit or Abort (2-phase locking).
+func (t *Txn) Lock(name string) error {
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return ErrFinished
+	}
+	for _, h := range t.held {
+		if h == name {
+			t.mu.Unlock()
+			return nil
+		}
+	}
+	t.mu.Unlock()
+
+	idx := t.indexOf(name)
+	if idx < 0 {
+		return ErrLockFailed
+	}
+	if err := t.domain.lockClient(name, idx).P(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.held = append(t.held, name)
+	t.mu.Unlock()
+	return nil
+}
+
+// Buffer records a write to apply at commit time.
+func (t *Txn) Buffer(w Write) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.finished {
+		return ErrFinished
+	}
+	t.writes = append(t.writes, w)
+	return nil
+}
+
+// Commit applies the buffered writes in order and releases every lock. If a
+// write fails, the remaining writes are skipped, the locks are still
+// released, and the error is returned (the caller decides whether to retry;
+// the paper's full nested-transaction semantics are out of scope).
+func (t *Txn) Commit() error {
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return ErrFinished
+	}
+	t.finished = true
+	writes := t.writes
+	held := t.held
+	t.mu.Unlock()
+
+	var firstErr error
+	for _, w := range writes {
+		if err := w.Apply(); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	t.release(held)
+	return firstErr
+}
+
+// Abort discards the buffered writes and releases every lock.
+func (t *Txn) Abort() error {
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return ErrFinished
+	}
+	t.finished = true
+	held := t.held
+	t.writes = nil
+	t.mu.Unlock()
+	t.release(held)
+	return nil
+}
+
+// Held returns the names of the locks the transaction currently holds.
+func (t *Txn) Held() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.held...)
+}
+
+func (t *Txn) release(held []string) {
+	for _, name := range held {
+		idx := t.indexOf(name)
+		if idx < 0 {
+			continue
+		}
+		_ = t.domain.lockClient(name, idx).V()
+	}
+}
+
+func (t *Txn) indexOf(name string) int {
+	for i, n := range t.lockNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,189 @@
+package txn
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	isis "repro"
+)
+
+func cluster(t *testing.T, sites int) *isis.Cluster {
+	t.Helper()
+	c, err := isis.NewCluster(isis.ClusterConfig{Sites: sites, CallTimeout: 2 * time.Second, ReplyTimeout: 8 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+var lockNames = []string{"accounts", "audit"}
+
+// buildDomain creates a lock-manager group with n members and returns a
+// client-side domain bound to a separate process.
+func buildDomain(t *testing.T, c *isis.Cluster, n int) (*Domain, isis.Address) {
+	t.Helper()
+	var gid isis.Address
+	for i := 0; i < n; i++ {
+		p, err := c.Site(isis.SiteID(i + 1)).Spawn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			v, err := p.CreateGroup("txn-domain")
+			if err != nil {
+				t.Fatal(err)
+			}
+			gid = v.Group
+		} else {
+			if _, err := p.JoinByName("txn-domain", isis.JoinOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ServeDomain(p, gid, lockNames)
+	}
+	client, err := c.Site(1).Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Lookup("txn-domain"); err != nil {
+		t.Fatal(err)
+	}
+	return NewDomain(client, gid), gid
+}
+
+func TestCommitAppliesBufferedWrites(t *testing.T) {
+	c := cluster(t, 2)
+	d, _ := buildDomain(t, c, 2)
+
+	balance := 100
+	tx := d.Begin(lockNames)
+	if err := tx.Lock("accounts"); err != nil {
+		t.Fatal(err)
+	}
+	if got := tx.Held(); len(got) != 1 || got[0] != "accounts" {
+		t.Errorf("Held = %v", got)
+	}
+	_ = tx.Buffer(Write{Apply: func() error { balance -= 30; return nil }})
+	_ = tx.Buffer(Write{Apply: func() error { balance += 10; return nil }})
+	if balance != 100 {
+		t.Error("writes applied before commit")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if balance != 80 {
+		t.Errorf("balance = %d, want 80", balance)
+	}
+	if err := tx.Commit(); err != ErrFinished {
+		t.Errorf("double commit err = %v", err)
+	}
+}
+
+func TestAbortDiscardsWritesAndReleasesLocks(t *testing.T) {
+	c := cluster(t, 1)
+	d, _ := buildDomain(t, c, 1)
+
+	value := 1
+	tx := d.Begin(lockNames)
+	if err := tx.Lock("accounts"); err != nil {
+		t.Fatal(err)
+	}
+	_ = tx.Buffer(Write{Apply: func() error { value = 2; return nil }})
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if value != 1 {
+		t.Error("aborted write was applied")
+	}
+	// The lock must be free again: a second transaction can acquire it
+	// immediately.
+	tx2 := d.Begin(lockNames)
+	done := make(chan error, 1)
+	go func() { done <- tx2.Lock("accounts") }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("lock not released by abort")
+	}
+	_ = tx2.Abort()
+	if err := tx.Lock("accounts"); err != ErrFinished {
+		t.Errorf("lock after abort err = %v", err)
+	}
+}
+
+func TestTwoPhaseLockingSerializesConflictingTransactions(t *testing.T) {
+	c := cluster(t, 2)
+	d, _ := buildDomain(t, c, 2)
+
+	// Two transactions increment a shared counter under the same lock; the
+	// final value must reflect both (no lost update).
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tx := d.Begin(lockNames)
+			if err := tx.Lock("accounts"); err != nil {
+				t.Errorf("lock: %v", err)
+				return
+			}
+			snapshot := counter
+			time.Sleep(10 * time.Millisecond)
+			_ = tx.Buffer(Write{Apply: func() error { counter = snapshot + 1; return nil }})
+			if err := tx.Commit(); err != nil {
+				t.Errorf("commit: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 2 {
+		t.Errorf("counter = %d, want 2 (lost update)", counter)
+	}
+}
+
+func TestLockIdempotentWithinTransaction(t *testing.T) {
+	c := cluster(t, 1)
+	d, _ := buildDomain(t, c, 1)
+	tx := d.Begin(lockNames)
+	if err := tx.Lock("audit"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Lock("audit"); err != nil {
+		t.Fatalf("re-locking a held lock failed: %v", err)
+	}
+	if len(tx.Held()) != 1 {
+		t.Errorf("Held = %v", tx.Held())
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownLockName(t *testing.T) {
+	c := cluster(t, 1)
+	d, _ := buildDomain(t, c, 1)
+	tx := d.Begin(lockNames)
+	if err := tx.Lock("not-a-lock"); err != ErrLockFailed {
+		t.Errorf("err = %v, want ErrLockFailed", err)
+	}
+	_ = tx.Abort()
+}
+
+func TestBufferAfterFinish(t *testing.T) {
+	c := cluster(t, 1)
+	d, _ := buildDomain(t, c, 1)
+	tx := d.Begin(lockNames)
+	_ = tx.Abort()
+	if err := tx.Buffer(Write{Apply: func() error { return nil }}); err != ErrFinished {
+		t.Errorf("err = %v, want ErrFinished", err)
+	}
+	if err := tx.Abort(); err != ErrFinished {
+		t.Errorf("double abort err = %v", err)
+	}
+}

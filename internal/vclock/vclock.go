@@ -1,0 +1,171 @@
+// Package vclock implements the vector timestamps used by the CBCAST
+// protocol (Section 3.1 of the paper). Each member of a process group keeps
+// a vector clock with one entry per member rank in the current view; a
+// CBCAST carries the sender's timestamp, and a receiver delays delivery
+// until the message is causally deliverable.
+package vclock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VC is a vector clock indexed by member rank. The zero value (nil) is a
+// valid all-zeros clock of length zero.
+type VC []uint64
+
+// New returns an all-zero clock with n entries.
+func New(n int) VC { return make(VC, n) }
+
+// Len returns the number of entries.
+func (v VC) Len() int { return len(v) }
+
+// Get returns entry i, treating out-of-range indices as zero so that clocks
+// from slightly shorter views compare sensibly during view changes.
+func (v VC) Get(i int) uint64 {
+	if i < 0 || i >= len(v) {
+		return 0
+	}
+	return v[i]
+}
+
+// Clone returns a copy of v.
+func (v VC) Clone() VC {
+	if v == nil {
+		return nil
+	}
+	out := make(VC, len(v))
+	copy(out, v)
+	return out
+}
+
+// Resize returns a clock with exactly n entries, preserving existing values
+// and zero-filling new ones. The receiver is not modified.
+func (v VC) Resize(n int) VC {
+	out := make(VC, n)
+	copy(out, v)
+	return out
+}
+
+// Tick increments entry i in place, growing the clock if necessary, and
+// returns the clock.
+func (v *VC) Tick(i int) VC {
+	if i >= len(*v) {
+		*v = v.Resize(i + 1)
+	}
+	(*v)[i]++
+	return *v
+}
+
+// Merge sets each entry of v to the max of v and o, growing v if needed, and
+// returns the merged clock.
+func (v *VC) Merge(o VC) VC {
+	if len(o) > len(*v) {
+		*v = v.Resize(len(o))
+	}
+	for i, x := range o {
+		if x > (*v)[i] {
+			(*v)[i] = x
+		}
+	}
+	return *v
+}
+
+// Equal reports whether v and o represent the same timestamp (trailing
+// zeros ignored).
+func (v VC) Equal(o VC) bool {
+	n := len(v)
+	if len(o) > n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if v.Get(i) != o.Get(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// LE reports whether v ≤ o pointwise (v happened-before-or-equal o).
+func (v VC) LE(o VC) bool {
+	n := len(v)
+	if len(o) > n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if v.Get(i) > o.Get(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Before reports whether v happened strictly before o: v ≤ o and v ≠ o.
+func (v VC) Before(o VC) bool { return v.LE(o) && !v.Equal(o) }
+
+// Concurrent reports whether neither clock happened before the other.
+func (v VC) Concurrent(o VC) bool { return !v.LE(o) && !o.LE(v) }
+
+// Deliverable implements the CBCAST delivery condition. A message stamped
+// with timestamp ts by the sender at rank senderRank is deliverable at a
+// process whose current clock is v when:
+//
+//	ts[senderRank] == v[senderRank] + 1          (next message from sender)
+//	ts[k] <= v[k] for every k != senderRank      (all causal predecessors seen)
+//
+// This is the standard causal-delivery predicate; the sender increments its
+// own entry immediately before sending.
+func (v VC) Deliverable(ts VC, senderRank int) bool {
+	n := len(v)
+	if len(ts) > n {
+		n = len(ts)
+	}
+	for k := 0; k < n; k++ {
+		tk, vk := ts.Get(k), v.Get(k)
+		if k == senderRank {
+			if tk != vk+1 {
+				return false
+			}
+			continue
+		}
+		if tk > vk {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the clock as "[a b c]".
+func (v VC) String() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Encode flattens the clock for inclusion in a message field.
+func (v VC) Encode() []byte {
+	out := make([]byte, 0, len(v)*8)
+	for _, x := range v {
+		out = append(out,
+			byte(x>>56), byte(x>>48), byte(x>>40), byte(x>>32),
+			byte(x>>24), byte(x>>16), byte(x>>8), byte(x))
+	}
+	return out
+}
+
+// Decode parses a clock previously produced by Encode. Trailing partial
+// entries are an error.
+func Decode(b []byte) (VC, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("vclock: encoding length %d is not a multiple of 8", len(b))
+	}
+	v := make(VC, len(b)/8)
+	for i := range v {
+		off := i * 8
+		v[i] = uint64(b[off])<<56 | uint64(b[off+1])<<48 | uint64(b[off+2])<<40 | uint64(b[off+3])<<32 |
+			uint64(b[off+4])<<24 | uint64(b[off+5])<<16 | uint64(b[off+6])<<8 | uint64(b[off+7])
+	}
+	return v, nil
+}

@@ -1,0 +1,213 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndGet(t *testing.T) {
+	v := New(3)
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if v.Get(i) != 0 {
+			t.Errorf("Get(%d) = %d", i, v.Get(i))
+		}
+	}
+	if v.Get(-1) != 0 || v.Get(100) != 0 {
+		t.Error("out-of-range Get should be zero")
+	}
+}
+
+func TestTickAndMerge(t *testing.T) {
+	v := New(2)
+	v.Tick(0)
+	v.Tick(0)
+	v.Tick(1)
+	if v[0] != 2 || v[1] != 1 {
+		t.Errorf("after ticks: %v", v)
+	}
+	// Tick past the end grows the clock.
+	v.Tick(4)
+	if v.Len() != 5 || v[4] != 1 {
+		t.Errorf("Tick growth: %v", v)
+	}
+
+	o := VC{5, 0, 3}
+	v.Merge(o)
+	if v[0] != 5 || v[1] != 1 || v[2] != 3 || v[4] != 1 {
+		t.Errorf("after merge: %v", v)
+	}
+	// Merge a longer clock into a shorter one.
+	s := New(1)
+	s.Merge(VC{0, 0, 7})
+	if s.Len() != 3 || s[2] != 7 {
+		t.Errorf("merge growth: %v", s)
+	}
+}
+
+func TestCloneAndResize(t *testing.T) {
+	v := VC{1, 2}
+	c := v.Clone()
+	c.Tick(0)
+	if v[0] != 1 {
+		t.Error("Clone aliases the original")
+	}
+	if VC(nil).Clone() != nil {
+		t.Error("Clone(nil) should be nil")
+	}
+	r := v.Resize(4)
+	if r.Len() != 4 || r[0] != 1 || r[3] != 0 {
+		t.Errorf("Resize = %v", r)
+	}
+	short := v.Resize(1)
+	if short.Len() != 1 || short[0] != 1 {
+		t.Errorf("Resize shrink = %v", short)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	a := VC{1, 2, 0}
+	b := VC{1, 2}
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("trailing zeros should compare equal")
+	}
+	c := VC{2, 2, 0}
+	if !a.Before(c) || c.Before(a) {
+		t.Error("Before wrong")
+	}
+	if !a.LE(c) || c.LE(a) {
+		t.Error("LE wrong")
+	}
+	d := VC{0, 3}
+	if !a.Concurrent(d) || !d.Concurrent(a) {
+		t.Error("Concurrent wrong")
+	}
+	if a.Concurrent(c) {
+		t.Error("ordered clocks reported concurrent")
+	}
+}
+
+func TestDeliverable(t *testing.T) {
+	// Receiver has seen one message from rank 0 and none from rank 1.
+	recv := VC{1, 0}
+	// Next message from rank 0.
+	if !recv.Deliverable(VC{2, 0}, 0) {
+		t.Error("next message from sender should be deliverable")
+	}
+	// A message from rank 0 that skips ahead is not deliverable.
+	if recv.Deliverable(VC{3, 0}, 0) {
+		t.Error("gap in sender sequence should block delivery")
+	}
+	// Duplicate / old message is not deliverable.
+	if recv.Deliverable(VC{1, 0}, 0) {
+		t.Error("old message should not be deliverable")
+	}
+	// A message from rank 1 that causally depends on an unseen message from
+	// rank 0 is not deliverable.
+	if recv.Deliverable(VC{2, 1}, 1) {
+		t.Error("message with unseen causal predecessor should block")
+	}
+	// Once the dependency is satisfied it becomes deliverable.
+	recv2 := VC{2, 0}
+	if !recv2.Deliverable(VC{2, 1}, 1) {
+		t.Error("message should be deliverable once predecessors seen")
+	}
+}
+
+func TestDeliverableAcrossDifferentLengths(t *testing.T) {
+	// Receiver joined later and has a shorter clock than the sender.
+	recv := VC{0}
+	ts := VC{1, 0, 0}
+	if !recv.Deliverable(ts, 0) {
+		t.Error("length mismatch should not block a deliverable message")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (VC{1, 2, 3}).String(); got != "[1 2 3]" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (VC{}).String(); got != "[]" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	v := VC{0, 1, 1 << 40, ^uint64(0)}
+	got, err := Decode(v.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v) || got.Len() != v.Len() {
+		t.Errorf("round trip = %v, want %v", got, v)
+	}
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Error("Decode accepted a truncated encoding")
+	}
+	empty, err := Decode(nil)
+	if err != nil || empty.Len() != 0 {
+		t.Error("Decode(nil) should give an empty clock")
+	}
+}
+
+// Property: Merge is an upper bound of both inputs.
+func TestMergeProperty(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		va := make(VC, len(a))
+		for i, x := range a {
+			va[i] = uint64(x)
+		}
+		vb := make(VC, len(b))
+		for i, x := range b {
+			vb[i] = uint64(x)
+		}
+		m := va.Clone()
+		(&m).Merge(vb)
+		return va.LE(m) && vb.LE(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: encode/decode round-trips.
+func TestEncodeProperty(t *testing.T) {
+	f := func(vals []uint64) bool {
+		v := VC(vals)
+		got, err := Decode(v.Encode())
+		return err == nil && got.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LE is a partial order (reflexive, antisymmetric up to Equal,
+// transitive on random triples).
+func TestLEPartialOrderProperty(t *testing.T) {
+	toVC := func(xs []uint8) VC {
+		v := make(VC, len(xs))
+		for i, x := range xs {
+			v[i] = uint64(x % 4)
+		}
+		return v
+	}
+	f := func(a, b, c []uint8) bool {
+		va, vb, vc := toVC(a), toVC(b), toVC(c)
+		if !va.LE(va) {
+			return false
+		}
+		if va.LE(vb) && vb.LE(va) && !va.Equal(vb) {
+			return false
+		}
+		if va.LE(vb) && vb.LE(vc) && !va.LE(vc) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

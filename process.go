@@ -1,0 +1,243 @@
+package isis
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/task"
+)
+
+// newTaskManager is a small indirection so Site.Spawn does not import the
+// task package directly.
+func newTaskManager() *task.Manager { return task.NewManager() }
+
+// Errors returned by Process operations.
+var (
+	ErrProcessKilled = errors.New("isis: process has been killed")
+	ErrNoResponders  = errors.New("isis: all destinations failed before enough replies arrived")
+	ErrReplyTimeout  = errors.New("isis: timed out waiting for replies")
+	ErrNotARequest   = errors.New("isis: message carries no reply session")
+)
+
+// Process is a client process of the ISIS system: the unit that joins
+// process groups, sends and receives multicasts, and runs tasks. A Process
+// is created with Site.Spawn and is bound to its site for life (the paper's
+// processes do not migrate; migration is expressed as joining from a new
+// process plus a state transfer, as in Section 3.8).
+type Process struct {
+	site         *Site
+	addr         Address
+	tasks        *task.Manager
+	replyTimeout time.Duration
+
+	mu        sync.Mutex
+	killed    bool
+	session   int64
+	pending   map[int64]*pendingCall
+	monitors  map[Address][]func(View)
+	lastViews map[Address]View
+	providers map[Address]func() [][]byte
+}
+
+// pendingCall tracks one Cast waiting for replies.
+type pendingCall struct {
+	replies chan *Message
+}
+
+// Address returns the process's ISIS address.
+func (p *Process) Address() Address { return p.addr }
+
+// Site returns the site the process runs at.
+func (p *Process) Site() *Site { return p.site }
+
+// Tasks exposes the process's task manager (entry bindings, filters).
+func (p *Process) Tasks() *task.Manager { return p.tasks }
+
+// BindEntry binds a handler routine to an entry point; a new task runs the
+// handler for every message delivered to the entry (Section 4.1 "Entries").
+func (p *Process) BindEntry(e EntryID, h func(*Message)) {
+	if h == nil {
+		p.tasks.BindEntry(e, nil)
+		return
+	}
+	p.tasks.BindEntry(e, func(m *msg.Message) { h(m) })
+}
+
+// AddFilter appends a message filter; filters run before a task is created
+// and may drop the message (Section 4.1 "Filters", used by the protection
+// tool).
+func (p *Process) AddFilter(f func(EntryID, *Message) bool) {
+	p.tasks.AddFilter(func(e EntryID, m *msg.Message) bool { return f(e, m) })
+}
+
+// Kill simulates a crash of this process. Its groups observe a failure.
+func (p *Process) Kill() error {
+	p.mu.Lock()
+	if p.killed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.killed = true
+	p.mu.Unlock()
+	p.tasks.Close()
+	return p.site.daemon.KillProcess(p.addr)
+}
+
+// Alive reports whether the process has not been killed.
+func (p *Process) Alive() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return !p.killed
+}
+
+// onDeliver is the daemon's delivery callback: replies are routed to the
+// Cast that is waiting for them, everything else starts a task at the
+// destination entry point.
+func (p *Process) onDeliver(entry EntryID, m *Message) {
+	if m.Has(msg.FReply) {
+		session := m.Session()
+		p.mu.Lock()
+		call := p.pending[session]
+		p.mu.Unlock()
+		if call != nil {
+			select {
+			case call.replies <- m:
+			default:
+			}
+		}
+		return
+	}
+	_ = p.tasks.Dispatch(entry, m)
+}
+
+// onView is the daemon's membership callback: it records the view and
+// notifies the process's monitor routines (pg_monitor).
+func (p *Process) onView(v View) {
+	p.mu.Lock()
+	if p.lastViews == nil {
+		p.lastViews = make(map[Address]View)
+	}
+	p.lastViews[v.Group] = v
+	cbs := make([]func(View), len(p.monitors[v.Group]))
+	copy(cbs, p.monitors[v.Group])
+	p.mu.Unlock()
+	for _, cb := range cbs {
+		cb(v)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Process groups
+
+// CreateGroup creates a new process group with this process as its first
+// member (pg_create).
+func (p *Process) CreateGroup(name string) (View, error) {
+	if !p.Alive() {
+		return View{}, ErrProcessKilled
+	}
+	return p.site.daemon.CreateGroup(p.addr, name)
+}
+
+// Lookup resolves a symbolic group name to a group address (pg_lookup).
+func (p *Process) Lookup(name string) (Address, error) {
+	return p.site.daemon.Lookup(name)
+}
+
+// JoinOptions configures Join.
+type JoinOptions struct {
+	// Credentials are presented to the group's join-validation routine, if
+	// the protection tool has installed one.
+	Credentials string
+	// StateReceiver, when non-nil, requests a state transfer from the
+	// group's oldest member (join_and_xfer); the callback receives the
+	// state blocks, the last one flagged with last=true. Deliveries to the
+	// new member are held until the transfer completes.
+	StateReceiver func(block []byte, last bool)
+}
+
+// Join adds the process to an existing group (pg_join / join_and_xfer) and
+// returns the first view that includes it.
+func (p *Process) Join(gid Address, opts JoinOptions) (View, error) {
+	if !p.Alive() {
+		return View{}, ErrProcessKilled
+	}
+	v, err := p.site.daemon.Join(p.addr, gid, toProtosJoin(opts))
+	if err != nil {
+		return View{}, err
+	}
+	p.mu.Lock()
+	if p.lastViews == nil {
+		p.lastViews = make(map[Address]View)
+	}
+	p.lastViews[gid.Base()] = v
+	p.mu.Unlock()
+	return v, nil
+}
+
+// JoinByName looks the group up by name and joins it.
+func (p *Process) JoinByName(name string, opts JoinOptions) (View, error) {
+	gid, err := p.Lookup(name)
+	if err != nil {
+		return View{}, err
+	}
+	return p.Join(gid, opts)
+}
+
+// Leave removes the process from a group (pg_leave).
+func (p *Process) Leave(gid Address) error {
+	if !p.Alive() {
+		return ErrProcessKilled
+	}
+	return p.site.daemon.Leave(p.addr, gid)
+}
+
+// Monitor registers a routine invoked on every membership change of the
+// group (pg_monitor). Callbacks are invoked in delivery order relative to
+// the process's message deliveries.
+func (p *Process) Monitor(gid Address, cb func(View)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.monitors[gid.Base()] = append(p.monitors[gid.Base()], cb)
+}
+
+// CurrentView returns the most recent view of a group known to this process
+// (its own membership callbacks, falling back to the site daemon's cache).
+func (p *Process) CurrentView(gid Address) (View, bool) {
+	p.mu.Lock()
+	v, ok := p.lastViews[gid.Base()]
+	p.mu.Unlock()
+	if ok {
+		return v, true
+	}
+	return p.site.daemon.CurrentView(gid)
+}
+
+// SetStateProvider registers the routine that encodes this member's copy of
+// the group state when another process joins with a state transfer. Only
+// the group's oldest member is asked to provide state.
+func (p *Process) SetStateProvider(gid Address, provider func() [][]byte) error {
+	p.mu.Lock()
+	p.providers[gid.Base()] = provider
+	p.mu.Unlock()
+	return p.site.daemon.SetStateProvider(p.addr, gid, provider)
+}
+
+// Flush blocks until the process's outstanding asynchronous multicasts have
+// been transmitted and committed; it is called automatically by the tools
+// that manage logs and stable storage (Section 3.2, footnote 3).
+func (p *Process) Flush() error {
+	if !p.Alive() {
+		return ErrProcessKilled
+	}
+	return p.site.daemon.Flush(p.addr)
+}
+
+func toProtosJoin(opts JoinOptions) protosJoinOptions {
+	return protosJoinOptions{
+		WantState:     opts.StateReceiver != nil,
+		StateReceiver: opts.StateReceiver,
+		Credentials:   opts.Credentials,
+	}
+}
