@@ -15,6 +15,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/simnet"
 	"repro/internal/tools/replica"
+	"repro/internal/transport"
 )
 
 // paperSizes are the message sizes of Figure 2.
@@ -132,13 +133,17 @@ func BenchmarkSenderUtilization(b *testing.B) {
 // Micro-benchmarks of the primitives (fast network, per-operation cost).
 
 func primitiveCluster(b *testing.B, sites int) (*isis.Cluster, []*isis.Process, isis.Address) {
+	return primitiveClusterTr(b, sites, transport.Config{})
+}
+
+func primitiveClusterTr(b *testing.B, sites int, trCfg transport.Config) (*isis.Cluster, []*isis.Process, isis.Address) {
 	b.Helper()
 	// Heartbeats are disabled: at benchmark rates (tens of thousands of
 	// multicasts per second on one machine) the aggressive test-grade
 	// failure-detector timeouts produce false suspicions, which is not what
 	// these micro-benchmarks measure.
 	c, err := isis.NewCluster(isis.ClusterConfig{Sites: sites, CallTimeout: 5 * time.Second,
-		ReplyTimeout: 10 * time.Second, DisableHeartbeats: true})
+		ReplyTimeout: 10 * time.Second, DisableHeartbeats: true, Transport: trCfg})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -231,6 +236,30 @@ func BenchmarkGroupRPCOneReply(b *testing.B) {
 
 // ---------------------------------------------------------------------------
 // Ablations (design-choice experiments listed in DESIGN.md).
+
+// BenchmarkAblationBatching compares the asynchronous CBCAST hot path with
+// transport packet coalescing on (the default) and off (one frame per
+// fragment, dedicated acks — the seed's behaviour). The delta is the win the
+// hot-path overhaul buys on the Figure 2 throughput panel.
+func BenchmarkAblationBatching(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		unbatched bool
+	}{{"batched", false}, {"unbatched", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			_, procs, gid := primitiveClusterTr(b, 3, transport.Config{DisableBatching: mode.unbatched})
+			payload := isis.Text("x")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := procs[0].Cast(isis.CBCAST, []isis.Address{gid}, isis.EntryUserBase, payload, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			_ = procs[0].Flush()
+		})
+	}
+}
 
 // BenchmarkAblationOrdering compares CBCAST-mode and ABCAST-mode replicated
 // updates for a single-writer item: the causal mode is sufficient there, and

@@ -11,6 +11,7 @@ import (
 	"repro/internal/fdetect"
 	"repro/internal/protos"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // ClusterConfig parameterizes a simulated ISIS cluster.
@@ -25,6 +26,10 @@ type ClusterConfig struct {
 	// Detector configures the failure detector at every site; the zero
 	// value picks settings suited to the Net configuration.
 	Detector fdetect.Config
+	// Transport overrides the site-to-site transport configuration; the
+	// zero value derives it from Net. The batching ablation benchmark uses
+	// it to compare coalesced and unbatched hot paths.
+	Transport transport.Config
 	// CallTimeout bounds the toolkit's internal request/response exchanges.
 	CallTimeout time.Duration
 	// ReplyTimeout bounds how long Cast waits for replies before giving up
@@ -94,6 +99,7 @@ func (c *Cluster) AddSite(id SiteID) (*Site, error) {
 		Site:              id,
 		Incarnation:       inc,
 		Network:           c.net,
+		Transport:         c.cfg.Transport,
 		Detector:          c.cfg.Detector,
 		CallTimeout:       c.cfg.CallTimeout,
 		DisableHeartbeats: c.cfg.DisableHeartbeats,

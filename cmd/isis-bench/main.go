@@ -25,13 +25,14 @@ import (
 
 func main() {
 	var (
-		table1  = flag.Bool("table1", false, "regenerate Table 1")
-		figure2 = flag.Bool("figure2", false, "regenerate Figure 2")
-		figure3 = flag.Bool("figure3", false, "regenerate Figure 3")
-		twenty  = flag.Bool("twenty", false, "regenerate the Section 5 twenty-questions rates")
-		cpu     = flag.Bool("cpu", false, "regenerate the Section 7 CPU-utilisation observation")
-		all     = flag.Bool("all", false, "run every experiment")
-		fast    = flag.Bool("fast", false, "use a zero-delay network instead of the paper-calibrated one")
+		table1    = flag.Bool("table1", false, "regenerate Table 1")
+		figure2   = flag.Bool("figure2", false, "regenerate Figure 2")
+		figure3   = flag.Bool("figure3", false, "regenerate Figure 3")
+		twenty    = flag.Bool("twenty", false, "regenerate the Section 5 twenty-questions rates")
+		cpu       = flag.Bool("cpu", false, "regenerate the Section 7 CPU-utilisation observation")
+		all       = flag.Bool("all", false, "run every experiment")
+		fast      = flag.Bool("fast", false, "use a zero-delay network instead of the paper-calibrated one")
+		unbatched = flag.Bool("unbatched", false, "disable transport packet coalescing in the Figure 2 throughput run (ablation)")
 	)
 	flag.Parse()
 	if !*table1 && !*figure2 && !*figure3 && !*twenty && !*cpu {
@@ -60,8 +61,11 @@ func main() {
 	if *all || *figure2 {
 		sizes := []int{10, 100, 1000, 10000}
 		fmt.Println("== Figure 2 (top): asynchronous CBCAST throughput vs message size ==")
+		if *unbatched {
+			fmt.Println("(transport packet coalescing DISABLED — ablation baseline)")
+		}
 		for _, dests := range []int{2, 4} {
-			points, err := bench.RunFigure2Throughput(netCfg, dests, sizes, 300*time.Millisecond)
+			points, err := bench.RunFigure2ThroughputAblation(netCfg, dests, sizes, 300*time.Millisecond, *unbatched)
 			if err != nil {
 				fail(err)
 			}

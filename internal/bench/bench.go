@@ -20,6 +20,7 @@ import (
 	"repro/internal/tools/replica"
 	"repro/internal/tools/sema"
 	"repro/internal/tools/statexfer"
+	"repro/internal/transport"
 )
 
 // entry points used by the harness services.
@@ -285,9 +286,9 @@ type fig2Env struct {
 	gid     isis.Address
 }
 
-func newFig2Env(netCfg simnet.Config, dests int) (*fig2Env, error) {
+func newFig2Env(netCfg simnet.Config, dests int, trCfg transport.Config) (*fig2Env, error) {
 	cluster, err := isis.NewCluster(isis.ClusterConfig{
-		Sites: dests + 1, Net: netCfg,
+		Sites: dests + 1, Net: netCfg, Transport: trCfg,
 		CallTimeout: 20 * time.Second, ReplyTimeout: 30 * time.Second,
 		DisableHeartbeats: true,
 	})
@@ -329,7 +330,7 @@ func newFig2Env(netCfg simnet.Config, dests int) (*fig2Env, error) {
 // invoking it and receiving one reply from a local destination (the sender
 // itself is a member, as in the paper's setup).
 func RunFigure2Latency(netCfg simnet.Config, primitive isis.Protocol, dests int, sizes []int, iters int) ([]Fig2Point, error) {
-	env, err := newFig2Env(netCfg, dests)
+	env, err := newFig2Env(netCfg, dests, transport.Config{})
 	if err != nil {
 		return nil, err
 	}
@@ -357,7 +358,14 @@ func RunFigure2Latency(netCfg simnet.Config, primitive isis.Protocol, dests int,
 // RunFigure2Throughput measures asynchronous CBCAST throughput in payload
 // bytes per second: the sender never waits for replies.
 func RunFigure2Throughput(netCfg simnet.Config, dests int, sizes []int, perSize time.Duration) ([]Fig2Point, error) {
-	env, err := newFig2Env(netCfg, dests)
+	return RunFigure2ThroughputAblation(netCfg, dests, sizes, perSize, false)
+}
+
+// RunFigure2ThroughputAblation is RunFigure2Throughput with the transport's
+// packet coalescing optionally disabled, so the batching win on the Figure 2
+// panel stays measurable.
+func RunFigure2ThroughputAblation(netCfg simnet.Config, dests int, sizes []int, perSize time.Duration, unbatched bool) ([]Fig2Point, error) {
+	env, err := newFig2Env(netCfg, dests, transport.Config{DisableBatching: unbatched})
 	if err != nil {
 		return nil, err
 	}
@@ -418,7 +426,7 @@ type Fig3Breakdown struct {
 // other member is at site 2, using the paper-calibrated network, and
 // decomposes the observed latency.
 func RunFigure3(netCfg simnet.Config, iters int) (Fig3Breakdown, error) {
-	env, err := newFig2Env(netCfg, 1)
+	env, err := newFig2Env(netCfg, 1, transport.Config{})
 	if err != nil {
 		return Fig3Breakdown{}, err
 	}
@@ -582,7 +590,7 @@ type CPUResult struct {
 // protocols that wait on remote sites leave it 30-35% busy.
 func RunSenderUtilization(netCfg simnet.Config, window time.Duration) ([]CPUResult, error) {
 	run := func(async bool) (CPUResult, error) {
-		env, err := newFig2Env(netCfg, 2)
+		env, err := newFig2Env(netCfg, 2, transport.Config{})
 		if err != nil {
 			return CPUResult{}, err
 		}

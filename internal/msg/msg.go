@@ -6,6 +6,13 @@
 // clients, since only the protocols process sets it), the session id used to
 // match a reply with a pending call, and so on. A field can even contain
 // another message.
+//
+// The symbol table is stored as a slice of fields kept sorted by name rather
+// than a map: iteration in marshalling order is then allocation-free, field
+// storage can be reused when a message is overwritten in place, and the wire
+// encoding of an unchanged message can be computed once and cached (see
+// CachedMarshal in codec.go). Lookups use binary search; daemon packets have
+// at most a dozen fields, so this is also faster than hashing in practice.
 package msg
 
 import (
@@ -80,6 +87,7 @@ func IsSystemField(name string) bool {
 
 // field is one entry of the symbol table.
 type field struct {
+	name  string
 	typ   FieldType
 	bytes []byte
 	str   string
@@ -89,15 +97,77 @@ type field struct {
 	sub   *Message
 }
 
+// reset clears a field's payload members while keeping its name and the
+// backing storage of its slices, so an overwrite can reuse their capacity.
+func (f *field) reset(typ FieldType) {
+	f.typ = typ
+	f.bytes = f.bytes[:0]
+	f.str = ""
+	f.i = 0
+	f.adr = addr.Nil
+	f.adrs = f.adrs[:0]
+	f.sub = nil
+}
+
 // Message is a mutable symbol table of named, typed fields. The zero value
 // is not usable; call New.
 type Message struct {
-	fields map[string]field
+	fields []field // sorted by name
+
+	// gen counts mutations of this message (not of nested ones); enc holds
+	// the cached wire encoding, valid while encGen == treeGen(). See
+	// CachedMarshal.
+	gen    uint64
+	enc    []byte
+	encGen uint64
 }
 
 // New returns an empty message.
 func New() *Message {
-	return &Message{fields: make(map[string]field)}
+	return &Message{}
+}
+
+// invalidate records a mutation, discarding any cached encoding.
+func (m *Message) invalidate() {
+	m.gen++
+	m.enc = nil
+}
+
+// treeGen sums the mutation counters of this message and every nested
+// message. Counters only increase, so the sum changes whenever any message
+// in the tree is mutated; this is what keeps the cached encoding honest when
+// a caller mutates a nested message after PutMessage.
+func (m *Message) treeGen() uint64 {
+	g := m.gen
+	for i := range m.fields {
+		if f := &m.fields[i]; f.typ == TypeMessage && f.sub != nil {
+			g += f.sub.treeGen()
+		}
+	}
+	return g
+}
+
+// find returns the index where name is or would be stored, and whether it is
+// present.
+func (m *Message) find(name string) (int, bool) {
+	i := sort.Search(len(m.fields), func(i int) bool { return m.fields[i].name >= name })
+	return i, i < len(m.fields) && m.fields[i].name == name
+}
+
+// slot returns a pointer to the (possibly freshly inserted) field for name,
+// with its payload members cleared but slice capacity retained. Every Put
+// goes through here, so it also invalidates the cached encoding.
+func (m *Message) slot(name string, typ FieldType) *field {
+	m.invalidate()
+	i, ok := m.find(name)
+	if !ok {
+		m.fields = append(m.fields, field{})
+		copy(m.fields[i+1:], m.fields[i:])
+		m.fields[i] = field{name: name}
+	}
+	f := &m.fields[i]
+	f.reset(typ)
+	return f
 }
 
 // Len returns the number of fields in the message.
@@ -105,65 +175,82 @@ func (m *Message) Len() int { return len(m.fields) }
 
 // Has reports whether the named field is present.
 func (m *Message) Has(name string) bool {
-	_, ok := m.fields[name]
+	_, ok := m.find(name)
 	return ok
 }
 
 // Type returns the type of the named field and whether it exists.
 func (m *Message) Type(name string) (FieldType, bool) {
-	f, ok := m.fields[name]
-	return f.typ, ok
+	i, ok := m.find(name)
+	if !ok {
+		return 0, false
+	}
+	return m.fields[i].typ, true
 }
 
 // Delete removes the named field if present.
-func (m *Message) Delete(name string) { delete(m.fields, name) }
+func (m *Message) Delete(name string) {
+	i, ok := m.find(name)
+	if !ok {
+		return
+	}
+	m.invalidate()
+	copy(m.fields[i:], m.fields[i+1:])
+	m.fields[len(m.fields)-1] = field{}
+	m.fields = m.fields[:len(m.fields)-1]
+}
 
 // Names returns the field names in sorted order.
 func (m *Message) Names() []string {
-	out := make([]string, 0, len(m.fields))
-	for k := range m.fields {
-		out = append(out, k)
+	out := make([]string, len(m.fields))
+	for i := range m.fields {
+		out[i] = m.fields[i].name
 	}
-	sort.Strings(out)
 	return out
 }
 
-// PutBytes sets a bytes field. The slice is copied.
+// PutBytes sets a bytes field. The slice is copied (the copy reuses the
+// field's previous storage when possible, so overwriting a field of a
+// recycled message does not allocate).
 func (m *Message) PutBytes(name string, v []byte) *Message {
-	cp := make([]byte, len(v))
-	copy(cp, v)
-	m.fields[name] = field{typ: TypeBytes, bytes: cp}
+	f := m.slot(name, TypeBytes)
+	f.bytes = append(f.bytes, v...)
 	return m
 }
 
 // PutString sets a string field.
 func (m *Message) PutString(name, v string) *Message {
-	m.fields[name] = field{typ: TypeString, str: v}
+	f := m.slot(name, TypeString)
+	f.str = v
 	return m
 }
 
 // PutInt sets an integer field.
 func (m *Message) PutInt(name string, v int64) *Message {
-	m.fields[name] = field{typ: TypeInt, i: v}
+	f := m.slot(name, TypeInt)
+	f.i = v
 	return m
 }
 
 // PutAddress sets an address field.
 func (m *Message) PutAddress(name string, v addr.Address) *Message {
-	m.fields[name] = field{typ: TypeAddress, adr: v}
+	f := m.slot(name, TypeAddress)
+	f.adr = v
 	return m
 }
 
 // PutAddressList sets an address list field. The list is copied.
 func (m *Message) PutAddressList(name string, v addr.List) *Message {
-	m.fields[name] = field{typ: TypeAddressList, adrs: v.Clone()}
+	f := m.slot(name, TypeAddressList)
+	f.adrs = append(f.adrs, v...)
 	return m
 }
 
 // PutMessage sets a nested message field. The nested message is stored by
 // reference; callers that will keep mutating it should Put a Clone instead.
 func (m *Message) PutMessage(name string, v *Message) *Message {
-	m.fields[name] = field{typ: TypeMessage, sub: v}
+	f := m.slot(name, TypeMessage)
+	f.sub = v
 	return m
 }
 
@@ -173,74 +260,69 @@ var (
 	ErrWrongType = errors.New("msg: field has a different type")
 )
 
-// Bytes returns the bytes field, or an error if missing or of another type.
-func (m *Message) Bytes(name string) ([]byte, error) {
-	f, ok := m.fields[name]
+// get returns the field for name, or an error when absent or of another type.
+func (m *Message) get(name string, typ FieldType) (*field, error) {
+	i, ok := m.find(name)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoField, name)
 	}
-	if f.typ != TypeBytes {
+	f := &m.fields[i]
+	if f.typ != typ {
 		return nil, fmt.Errorf("%w: %q is %v", ErrWrongType, name, f.typ)
+	}
+	return f, nil
+}
+
+// Bytes returns the bytes field, or an error if missing or of another type.
+func (m *Message) Bytes(name string) ([]byte, error) {
+	f, err := m.get(name, TypeBytes)
+	if err != nil {
+		return nil, err
 	}
 	return f.bytes, nil
 }
 
 // String returns the string field.
 func (m *Message) String(name string) (string, error) {
-	f, ok := m.fields[name]
-	if !ok {
-		return "", fmt.Errorf("%w: %q", ErrNoField, name)
-	}
-	if f.typ != TypeString {
-		return "", fmt.Errorf("%w: %q is %v", ErrWrongType, name, f.typ)
+	f, err := m.get(name, TypeString)
+	if err != nil {
+		return "", err
 	}
 	return f.str, nil
 }
 
 // Int returns the integer field.
 func (m *Message) Int(name string) (int64, error) {
-	f, ok := m.fields[name]
-	if !ok {
-		return 0, fmt.Errorf("%w: %q", ErrNoField, name)
-	}
-	if f.typ != TypeInt {
-		return 0, fmt.Errorf("%w: %q is %v", ErrWrongType, name, f.typ)
+	f, err := m.get(name, TypeInt)
+	if err != nil {
+		return 0, err
 	}
 	return f.i, nil
 }
 
 // Address returns the address field.
 func (m *Message) Address(name string) (addr.Address, error) {
-	f, ok := m.fields[name]
-	if !ok {
-		return addr.Nil, fmt.Errorf("%w: %q", ErrNoField, name)
-	}
-	if f.typ != TypeAddress {
-		return addr.Nil, fmt.Errorf("%w: %q is %v", ErrWrongType, name, f.typ)
+	f, err := m.get(name, TypeAddress)
+	if err != nil {
+		return addr.Nil, err
 	}
 	return f.adr, nil
 }
 
 // AddressList returns the address list field.
 func (m *Message) AddressList(name string) (addr.List, error) {
-	f, ok := m.fields[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoField, name)
-	}
-	if f.typ != TypeAddressList {
-		return nil, fmt.Errorf("%w: %q is %v", ErrWrongType, name, f.typ)
+	f, err := m.get(name, TypeAddressList)
+	if err != nil {
+		return nil, err
 	}
 	return f.adrs, nil
 }
 
 // Message returns the nested message field.
 func (m *Message) Message(name string) (*Message, error) {
-	f, ok := m.fields[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoField, name)
-	}
-	if f.typ != TypeMessage {
-		return nil, fmt.Errorf("%w: %q is %v", ErrWrongType, name, f.typ)
+	f, err := m.get(name, TypeMessage)
+	if err != nil {
+		return nil, err
 	}
 	return f.sub, nil
 }
@@ -310,30 +392,43 @@ func (m *Message) Group() addr.Address { return m.GetAddress(FGroup) }
 // applies this to messages submitted by clients so system fields can only be
 // set by the toolkit itself.
 func (m *Message) StripSystemFields() {
-	for k := range m.fields {
-		if IsSystemField(k) {
-			delete(m.fields, k)
+	kept := m.fields[:0]
+	removed := false
+	for i := range m.fields {
+		if IsSystemField(m.fields[i].name) {
+			removed = true
+			continue
 		}
+		kept = append(kept, m.fields[i])
+	}
+	if removed {
+		for i := len(kept); i < len(m.fields); i++ {
+			m.fields[i] = field{}
+		}
+		m.fields = kept
+		m.invalidate()
 	}
 }
 
 // Clone returns a deep copy of the message.
 func (m *Message) Clone() *Message {
-	out := New()
-	for k, f := range m.fields {
+	out := &Message{}
+	if len(m.fields) == 0 {
+		return out
+	}
+	out.fields = make([]field, len(m.fields))
+	copy(out.fields, m.fields)
+	for i := range out.fields {
+		f := &out.fields[i]
 		switch f.typ {
 		case TypeBytes:
-			out.PutBytes(k, f.bytes)
-		case TypeString:
-			out.PutString(k, f.str)
-		case TypeInt:
-			out.PutInt(k, f.i)
-		case TypeAddress:
-			out.PutAddress(k, f.adr)
+			f.bytes = append([]byte(nil), f.bytes...)
 		case TypeAddressList:
-			out.PutAddressList(k, f.adrs)
+			f.adrs = append(addr.List(nil), f.adrs...)
 		case TypeMessage:
-			out.PutMessage(k, f.sub.Clone())
+			if f.sub != nil {
+				f.sub = f.sub.Clone()
+			}
 		}
 	}
 	return out
@@ -343,24 +438,24 @@ func (m *Message) Clone() *Message {
 // order; nested messages are rendered inline. Intended for debugging only.
 func (m *Message) Format() string {
 	s := "{"
-	for i, name := range m.Names() {
+	for i := range m.fields {
 		if i > 0 {
 			s += ", "
 		}
-		f := m.fields[name]
+		f := &m.fields[i]
 		switch f.typ {
 		case TypeBytes:
-			s += fmt.Sprintf("%s=bytes[%d]", name, len(f.bytes))
+			s += fmt.Sprintf("%s=bytes[%d]", f.name, len(f.bytes))
 		case TypeString:
-			s += fmt.Sprintf("%s=%q", name, f.str)
+			s += fmt.Sprintf("%s=%q", f.name, f.str)
 		case TypeInt:
-			s += fmt.Sprintf("%s=%d", name, f.i)
+			s += fmt.Sprintf("%s=%d", f.name, f.i)
 		case TypeAddress:
-			s += fmt.Sprintf("%s=%v", name, f.adr)
+			s += fmt.Sprintf("%s=%v", f.name, f.adr)
 		case TypeAddressList:
-			s += fmt.Sprintf("%s=%v", name, f.adrs)
+			s += fmt.Sprintf("%s=%v", f.name, f.adrs)
 		case TypeMessage:
-			s += fmt.Sprintf("%s=%s", name, f.sub.Format())
+			s += fmt.Sprintf("%s=%s", f.name, f.sub.Format())
 		}
 	}
 	return s + "}"

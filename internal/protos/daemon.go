@@ -102,10 +102,12 @@ type memberState struct {
 }
 
 // groupState is the per-group state kept at every site hosting members.
-// heldPacket is a data packet whose processing is deferred while the group
-// is wedged by a GBCAST flush.
+// heldPacket is a packet whose processing is deferred while the group is
+// wedged by a GBCAST flush; pt remembers its envelope type so it can be
+// re-dispatched when the group unwedges.
 type heldPacket struct {
 	from addr.SiteID
+	pt   byte
 	pkt  *msg.Message
 }
 
@@ -184,9 +186,21 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = 5 * time.Second
 	}
+	// Fill unset transport parameters from the network defaults while
+	// keeping explicit overrides (the batching ablation sets only flags).
 	trCfg := cfg.Transport
+	trDef := transport.DefaultConfig(cfg.Network.Config())
 	if trCfg.MaxPacket == 0 {
-		trCfg = transport.DefaultConfig(cfg.Network.Config())
+		trCfg.MaxPacket = trDef.MaxPacket
+	}
+	if netMax := cfg.Network.Config().MaxPacket; netMax > 0 && trCfg.MaxPacket > netMax {
+		// A frame larger than the network accepts would fail asynchronously
+		// in the transport's flusher, where no error can reach the sender;
+		// clamp here, where the network's limit is known.
+		trCfg.MaxPacket = netMax
+	}
+	if trCfg.RetransmitInterval == 0 {
+		trCfg.RetransmitInterval = trDef.RetransmitInterval
 	}
 	detCfg := cfg.Detector
 	if detCfg.HeartbeatInterval == 0 {
@@ -362,14 +376,48 @@ func (d *Daemon) WatchSites(cb func(fdetect.Event)) {
 // ---------------------------------------------------------------------------
 // Transport plumbing and call helper
 
-// sendPacket marshals and transmits a daemon-to-daemon packet.
-func (d *Daemon) sendPacket(to addr.SiteID, p *msg.Message) error {
-	raw, err := p.Marshal()
+// encodePacket builds the wire bytes of a daemon-to-daemon packet: the
+// two-byte envelope followed by the marshalled body. The body comes from
+// the message's cached-encoding handle, so a packet is marshalled at most
+// once no matter how many times it is encoded or to how many destination
+// sites the resulting bytes are fanned out.
+func encodePacket(pt byte, p *msg.Message) ([]byte, error) {
+	body, err := p.CachedMarshal()
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, envelopeBytes+len(body))
+	raw[0], raw[1] = wireVersion, pt
+	copy(raw[envelopeBytes:], body)
+	return raw, nil
+}
+
+// sendRaw transmits pre-encoded packet bytes to a site.
+func (d *Daemon) sendRaw(to addr.SiteID, raw []byte) error {
+	d.observeSite(to)
+	return d.tr.Send(to, raw)
+}
+
+// fanoutRaw ships the same encoded packet to every listed site except this
+// one. The slice is shared across destinations; the transport copies it into
+// its frames, so the caller may release it afterwards.
+func (d *Daemon) fanoutRaw(sites []addr.SiteID, raw []byte) {
+	for _, s := range sites {
+		if s == d.site {
+			continue
+		}
+		_ = d.sendRaw(s, raw)
+	}
+}
+
+// sendPacket encodes and transmits a daemon-to-daemon packet of the given
+// type.
+func (d *Daemon) sendPacket(to addr.SiteID, pt byte, p *msg.Message) error {
+	raw, err := encodePacket(pt, p)
 	if err != nil {
 		return err
 	}
-	d.observeSite(to)
-	return d.tr.Send(to, raw)
+	return d.sendRaw(to, raw)
 }
 
 // observeSite starts monitoring a site the daemon has learned about.
@@ -388,12 +436,13 @@ func (d *Daemon) observeSite(s addr.SiteID) {
 	}
 }
 
+// heartbeatRaw is the complete wire form of a heartbeat: envelope only, no
+// body. The receiver identifies the peer from the transport's source site.
+var heartbeatRaw = []byte{wireVersion, ptHeartbeat}
+
 // sendHeartbeat is handed to the failure detector.
 func (d *Daemon) sendHeartbeat(to addr.SiteID) {
-	p := msg.New()
-	p.PutInt(fType, ptHeartbeat)
-	p.PutInt(fSite, int64(d.site))
-	_ = d.sendPacket(to, p)
+	_ = d.sendRaw(to, heartbeatRaw)
 }
 
 // newCall registers a pending request/response exchange and returns its id
@@ -429,16 +478,18 @@ func (d *Daemon) respond(callID int64, m *msg.Message) {
 }
 
 // call sends a request to a site and waits for its response or a timeout.
-func (d *Daemon) call(to addr.SiteID, req *msg.Message) (*msg.Message, error) {
+// Error responses (ptError) carry an fErr field, which is how they are told
+// apart from the matching positive response type.
+func (d *Daemon) call(to addr.SiteID, pt byte, req *msg.Message) (*msg.Message, error) {
 	id, ch := d.newCall()
 	defer d.dropCall(id)
 	req.PutInt(fCall, id)
-	if err := d.sendPacket(to, req); err != nil {
+	if err := d.sendPacket(to, pt, req); err != nil {
 		return nil, err
 	}
 	select {
 	case resp := <-ch:
-		if resp.GetInt(fType, 0) == ptError {
+		if resp.Has(fErr) {
 			return nil, fmt.Errorf("protos: remote error: %s", resp.GetString(fErr, "unknown"))
 		}
 		return resp, nil
@@ -450,22 +501,29 @@ func (d *Daemon) call(to addr.SiteID, req *msg.Message) (*msg.Message, error) {
 // replyError sends a ptError response for a request.
 func (d *Daemon) replyError(to addr.SiteID, callID int64, why string) {
 	p := msg.New()
-	p.PutInt(fType, ptError)
 	p.PutInt(fCall, callID)
 	p.PutString(fErr, why)
-	_ = d.sendPacket(to, p)
+	_ = d.sendPacket(to, ptError, p)
 }
 
-// handleTransport dispatches an incoming daemon-to-daemon packet.
+// handleTransport dispatches an incoming daemon-to-daemon packet. The packet
+// type sits at a fixed offset in the envelope, so dispatch does not decode
+// the body; heartbeats carry no body at all.
 func (d *Daemon) handleTransport(from addr.SiteID, raw []byte) {
-	p, err := msg.Unmarshal(raw)
+	if len(raw) < envelopeBytes || raw[0] != wireVersion {
+		return
+	}
+	pt := raw[1]
+	d.observeSite(from)
+	if pt == ptHeartbeat {
+		d.det.OnHeartbeat(from)
+		return
+	}
+	p, err := msg.Unmarshal(raw[envelopeBytes:])
 	if err != nil {
 		return
 	}
-	d.observeSite(from)
-	switch p.GetInt(fType, 0) {
-	case ptHeartbeat:
-		d.det.OnHeartbeat(addr.SiteID(p.GetInt(fSite, int64(from))))
+	switch pt {
 	case ptData:
 		d.handleData(from, p)
 	case ptAbPropose:

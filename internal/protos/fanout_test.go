@@ -1,0 +1,105 @@
+package protos
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/msg"
+	"repro/internal/simnet"
+)
+
+// quietCluster builds a cluster with heartbeats disabled so that the only
+// message encodes during the measurement window belong to the multicast
+// under test.
+func quietCluster(t *testing.T, sites int) *testCluster {
+	t.Helper()
+	net := simnet.New(simnet.FastConfig())
+	tc := &testCluster{t: t, net: net, daemons: make(map[addr.SiteID]*Daemon)}
+	for i := 1; i <= sites; i++ {
+		d, err := New(Config{
+			Site:              addr.SiteID(i),
+			Network:           net,
+			CallTimeout:       2 * time.Second,
+			DisableHeartbeats: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.daemons[addr.SiteID(i)] = d
+	}
+	t.Cleanup(func() {
+		for _, d := range tc.daemons {
+			d.Close()
+		}
+		net.Close()
+	})
+	return tc
+}
+
+// TestCbcastFanoutMarshalsOnce pins the marshal-once property of the hot
+// path: a CBCAST data packet fanned out to N destination sites is encoded
+// exactly once, with the same bytes handed to every destination.
+func TestCbcastFanoutMarshalsOnce(t *testing.T) {
+	tc := quietCluster(t, 4)
+	sender := tc.newProc(1)
+	receivers := []*testProc{tc.newProc(2), tc.newProc(3), tc.newProc(4)}
+
+	view, err := tc.daemons[1].CreateGroup(sender.addr, "fanout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gid := view.Group
+	for _, r := range receivers {
+		if _, err := r.d.Join(r.addr, gid, JoinOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for the final view to be installed everywhere, then let the join
+	// traffic drain completely.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		settled := true
+		for _, d := range tc.daemons {
+			if v, ok := d.CurrentView(gid); !ok || v.Size() != 4 {
+				settled = false
+			}
+		}
+		if settled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("views never settled")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	payload := msg.New().PutString("body", "once")
+	before := msg.EncodeCount()
+	if _, err := tc.daemons[1].Multicast(sender.addr, CBCAST, addr.List{gid}, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range receivers {
+		waitUntil(t, 3*time.Second, func() bool { return r.got("once") })
+	}
+	delta := msg.EncodeCount() - before
+
+	// One encode for the data packet, shared by all three remote sites.
+	// (Receiving sites only decode; acks and heartbeats never touch the
+	// message codec.)
+	if delta != 1 {
+		t.Errorf("multicast to 3 remote sites performed %d encodes, want exactly 1", delta)
+	}
+}
+
+func waitUntil(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

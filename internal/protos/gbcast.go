@@ -64,7 +64,7 @@ func (d *Daemon) localGbRequest(gid addr.Address, req *msg.Message) (*msg.Messag
 	}
 	select {
 	case resp := <-w.done:
-		if resp != nil && resp.GetInt(fType, 0) == ptError {
+		if resp != nil && resp.Has(fErr) {
 			return nil, fmt.Errorf("protos: %s", resp.GetString(fErr, "gbcast failed"))
 		}
 		return resp, nil
@@ -147,7 +147,6 @@ func (d *Daemon) executeGb(w *gbWork) {
 	// Phase 1: wedge every member site of the old view and collect pending
 	// state reports.
 	prepare := msg.New()
-	prepare.PutInt(fType, ptGbPrepare)
 	prepare.PutAddress(fGroup, w.gid)
 	prepare.PutInt(fGbID, int64(seq))
 	prepare.PutInt(fViewID, int64(oldView.ID))
@@ -172,7 +171,9 @@ func (d *Daemon) executeGb(w *gbWork) {
 		wg.Add(1)
 		go func(site addr.SiteID) {
 			defer wg.Done()
-			resp, err := d.call(site, prepare.Clone())
+			// Clone per call: d.call stamps a per-exchange call id into the
+			// body, and these calls run concurrently.
+			resp, err := d.call(site, ptGbPrepare, prepare.Clone())
 			if err != nil {
 				return // treat as failed; its members will be removed later
 			}
@@ -203,7 +204,6 @@ func (d *Daemon) executeGb(w *gbWork) {
 
 	// Phase 2: commit at every member site of old and new views.
 	commit := msg.New()
-	commit.PutInt(fType, ptGbCommit)
 	commit.PutAddress(fGroup, w.gid)
 	commit.PutInt(fGbID, int64(seq))
 	commit.PutInt(fKind, w.kind)
@@ -226,11 +226,14 @@ func (d *Daemon) executeGb(w *gbWork) {
 	for _, s := range newView.SitesOf() {
 		targets[s] = true
 	}
-	for site := range targets {
-		if site == d.site {
-			continue
+	// The commit is marshalled once; all member sites share the encoding.
+	if raw, err := encodePacket(ptGbCommit, commit); err == nil {
+		for site := range targets {
+			if site == d.site {
+				continue
+			}
+			_ = d.sendRaw(site, raw)
 		}
-		_ = d.sendPacket(site, commit.Clone())
 	}
 	d.applyGbCommit(d.site, commit)
 
@@ -245,7 +248,6 @@ func (d *Daemon) gbReply(w *gbWork, resp *msg.Message, errText string) {
 	if w.done != nil {
 		if errText != "" {
 			resp = msg.New()
-			resp.PutInt(fType, ptError)
 			resp.PutString(fErr, errText)
 			// localGbRequest treats any response as success; encode errors
 			// as a missing view, which callers check.
@@ -264,9 +266,8 @@ func (d *Daemon) gbReply(w *gbWork, resp *msg.Message, errText string) {
 		return
 	}
 	out := resp.Clone()
-	out.PutInt(fType, ptGbDone)
 	out.PutInt(fCall, w.replyCall)
-	_ = d.sendPacket(w.replyTo, out)
+	_ = d.sendPacket(w.replyTo, ptGbDone, out)
 }
 
 // reconcile merges the member sites' pending reports into the rebroadcast
@@ -378,10 +379,9 @@ func (d *Daemon) handleGbPrepare(from addr.SiteID, p *msg.Message) {
 	gid := p.GetAddress(fGroup)
 	rep := d.prepareLocal(gid.Base())
 	resp := msg.New()
-	resp.PutInt(fType, ptGbAck)
 	resp.PutInt(fCall, p.GetInt(fCall, 0))
 	resp.PutMessage(fPending, encodePendingReport(rep))
-	_ = d.sendPacket(from, resp)
+	_ = d.sendPacket(from, ptGbAck, resp)
 }
 
 // handleGbCommit processes phase 2 arriving from a remote coordinator.
@@ -493,10 +493,10 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 }
 
 // dispatchHeld reprocesses a packet whose handling was deferred while the
-// group was wedged, routing it by its packet type (data packets and ABCAST
-// commits can both be held).
+// group was wedged, routing it by the envelope type remembered at hold time
+// (data packets and ABCAST commits can both be held).
 func (d *Daemon) dispatchHeld(h heldPacket) {
-	switch h.pkt.GetInt(fType, 0) {
+	switch h.pt {
 	case ptAbCommit:
 		d.handleAbCommit(h.from, h.pkt)
 	default:
@@ -612,23 +612,21 @@ func (d *Daemon) sendStateBlocks(gid addr.Address, joiners []addr.Address, provi
 	for _, j := range joiners {
 		if len(blocks) == 0 {
 			pkt := msg.New()
-			pkt.PutInt(fType, ptStateBlock)
 			pkt.PutAddress(fGroup, gid)
 			pkt.PutAddress(fSender, j)
 			pkt.PutInt(fStateLast, 1)
-			_ = d.sendPacket(j.Site, pkt)
+			_ = d.sendPacket(j.Site, ptStateBlock, pkt)
 			continue
 		}
 		for i, b := range blocks {
 			pkt := msg.New()
-			pkt.PutInt(fType, ptStateBlock)
 			pkt.PutAddress(fGroup, gid)
 			pkt.PutAddress(fSender, j)
 			pkt.PutBytes(fStateData, b)
 			if i == len(blocks)-1 {
 				pkt.PutInt(fStateLast, 1)
 			}
-			_ = d.sendPacket(j.Site, pkt)
+			_ = d.sendPacket(j.Site, ptStateBlock, pkt)
 		}
 	}
 }

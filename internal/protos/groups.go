@@ -161,22 +161,27 @@ func (d *Daemon) lookupRemote(name string, gid addr.Address) (core.View, error) 
 	callID, ch := d.newCall()
 	defer d.dropCall(callID)
 
+	// One request message serves every queried site: it is marshalled once
+	// and the same bytes are broadcast.
+	req := msg.New()
+	req.PutInt(fCall, callID)
+	if name != "" {
+		req.PutString(fName, name)
+	}
+	if !gid.IsNil() {
+		req.PutAddress(fGroup, gid)
+	}
+	raw, err := encodePacket(ptLookup, req)
+	if err != nil {
+		return core.View{}, err
+	}
 	sites := d.net.Sites()
 	asked := 0
 	for _, s := range sites {
 		if s == d.site {
 			continue
 		}
-		req := msg.New()
-		req.PutInt(fType, ptLookup)
-		req.PutInt(fCall, callID)
-		if name != "" {
-			req.PutString(fName, name)
-		}
-		if !gid.IsNil() {
-			req.PutAddress(fGroup, gid)
-		}
-		if err := d.sendPacket(s, req); err == nil {
+		if err := d.sendRaw(s, raw); err == nil {
 			asked++
 		}
 	}
@@ -188,7 +193,7 @@ func (d *Daemon) lookupRemote(name string, gid addr.Address) (core.View, error) 
 	for {
 		select {
 		case resp := <-ch:
-			if resp.GetInt(fType, 0) == ptLookupResp && resp.GetInt("found", 0) == 1 {
+			if resp.GetInt("found", 0) == 1 {
 				view := decodeView(resp.GetMessage(fView))
 				d.cacheRemoteView(view)
 				return view, nil
@@ -226,7 +231,6 @@ func (d *Daemon) handleLookup(from addr.SiteID, p *msg.Message) {
 	name := p.GetString(fName, "")
 	gid := p.GetAddress(fGroup)
 	resp := msg.New()
-	resp.PutInt(fType, ptLookupResp)
 	resp.PutInt(fCall, p.GetInt(fCall, 0))
 	d.mu.Lock()
 	var found *core.View
@@ -252,7 +256,7 @@ func (d *Daemon) handleLookup(from addr.SiteID, p *msg.Message) {
 	} else {
 		resp.PutInt("found", 0)
 	}
-	_ = d.sendPacket(from, resp)
+	_ = d.sendPacket(from, ptLookupResp, resp)
 }
 
 // JoinOptions configures a Join call.
@@ -294,7 +298,6 @@ func (d *Daemon) Join(joiner addr.Address, gid addr.Address, opts JoinOptions) (
 	d.mu.Unlock()
 
 	req := msg.New()
-	req.PutInt(fType, ptGbRequest)
 	req.PutInt(fKind, gbJoin)
 	req.PutAddress(fGroup, gid.Base())
 	req.PutAddressList(fProcs, addr.List{joiner.Base()})
@@ -316,7 +319,6 @@ func (d *Daemon) Join(joiner addr.Address, gid addr.Address, opts JoinOptions) (
 // Leave removes a local process from a group voluntarily (pg_leave).
 func (d *Daemon) Leave(member addr.Address, gid addr.Address) error {
 	req := msg.New()
-	req.PutInt(fType, ptGbRequest)
 	req.PutInt(fKind, gbLeave)
 	req.PutAddress(fGroup, gid.Base())
 	req.PutAddressList(fProcs, addr.List{member.Base()})
@@ -390,7 +392,7 @@ func (d *Daemon) coordinatorCall(gid addr.Address, req *msg.Message) (*msg.Messa
 			}
 			lastErr = err
 		} else {
-			resp, err := d.call(coord.Site, req.Clone())
+			resp, err := d.call(coord.Site, ptGbRequest, req)
 			if err == nil {
 				return resp, nil
 			}
@@ -414,7 +416,6 @@ func (d *Daemon) coordinatorCall(gid addr.Address, req *msg.Message) (*msg.Messa
 // through the normal GBCAST path.
 func (d *Daemon) requestRemoval(gid addr.Address, procs []addr.Address, kind int64) {
 	req := msg.New()
-	req.PutInt(fType, ptGbRequest)
 	req.PutInt(fKind, kind)
 	req.PutAddress(fGroup, gid.Base())
 	req.PutAddressList(fProcs, procs)

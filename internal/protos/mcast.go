@@ -87,7 +87,6 @@ func (d *Daemon) Multicast(sender addr.Address, proto Protocol, dests addr.List,
 // sendUserGbcast routes a user-level GBCAST through the group coordinator.
 func (d *Daemon) sendUserGbcast(sender, gid addr.Address, entry addr.EntryID, payload *msg.Message) error {
 	req := msg.New()
-	req.PutInt(fType, ptGbRequest)
 	req.PutInt(fKind, gbUser)
 	req.PutAddress(fGroup, gid)
 	req.PutAddress(fSender, sender.Base())
@@ -105,7 +104,6 @@ func (d *Daemon) sendPointToPoint(sender addr.Address, id core.MsgID, dests addr
 		return nil
 	}
 	pkt := msg.New()
-	pkt.PutInt(fType, ptData)
 	pkt.PutInt(fProto, int64(CBCAST))
 	putMsgID(pkt, id)
 	pkt.PutAddress(fSender, sender.Base())
@@ -126,8 +124,16 @@ func (d *Daemon) sendPointToPoint(sender addr.Address, id core.MsgID, dests addr
 	}
 	// Local destinations are delivered immediately.
 	d.deliverPointToPoint(pkt)
+	if len(remoteSites) == 0 {
+		return nil
+	}
+	// Marshal once; every remote site receives the same bytes.
+	raw, err := encodePacket(ptData, pkt)
+	if err != nil {
+		return err
+	}
 	for s := range remoteSites {
-		if err := d.sendPacket(s, pkt.Clone()); err != nil {
+		if err := d.sendRaw(s, raw); err != nil {
 			return err
 		}
 	}
@@ -197,10 +203,12 @@ func (d *Daemon) sendGroupMulticast(sender addr.Address, lp *localProc, proto Pr
 	}
 }
 
-// buildDataPacket assembles the ptData wire packet for a group multicast.
+// buildDataPacket assembles the ptData wire packet body for a group
+// multicast. The packet type travels in the fixed-offset envelope, not the
+// body, so the body built here is destination-independent: encodePacket
+// marshals it exactly once per multicast regardless of fan-out width.
 func (d *Daemon) buildDataPacket(proto Protocol, gid addr.Address, viewID core.ViewID, id core.MsgID, sender addr.Address, rank int, entry addr.EntryID, payload *msg.Message) *msg.Message {
 	pkt := msg.New()
-	pkt.PutInt(fType, ptData)
 	pkt.PutInt(fProto, int64(proto))
 	pkt.PutAddress(fGroup, gid)
 	pkt.PutInt(fViewID, int64(viewID))
@@ -238,15 +246,15 @@ func (d *Daemon) sendMemberCbcastLocked(gs *groupState, ms *memberState, sender,
 			}
 		}
 	}
-	// Ship one copy to every other member site, asynchronously.
+	// Ship one copy to every other member site, asynchronously. The packet
+	// is marshalled exactly once; all destinations share the encoding.
 	sites := gs.view.SitesOf()
 	go func() {
-		for _, s := range sites {
-			if s == d.site {
-				continue
-			}
-			_ = d.sendPacket(s, pkt.Clone())
+		raw, err := encodePacket(ptData, pkt)
+		if err != nil {
+			return
 		}
+		d.fanoutRaw(sites, raw)
 	}()
 }
 
@@ -299,7 +307,7 @@ func (d *Daemon) relayExternalMulticast(sender addr.Address, lp *localProc, prot
 		d.relayMulticast(d.site, pkt)
 		return nil
 	}
-	return d.sendPacket(coord.Site, pkt)
+	return d.sendPacket(coord.Site, ptData, pkt)
 }
 
 // relayMulticast runs at the coordinator site: it fans an external sender's
@@ -315,7 +323,7 @@ func (d *Daemon) relayMulticast(from addr.SiteID, pkt *msg.Message) {
 		return
 	}
 	if gs.wedged {
-		gs.heldPkts = append(gs.heldPkts, heldPacket{from, pkt})
+		gs.heldPkts = append(gs.heldPkts, heldPacket{from, ptData, pkt})
 		d.mu.Unlock()
 		return
 	}
@@ -328,11 +336,8 @@ func (d *Daemon) relayMulticast(from addr.SiteID, pkt *msg.Message) {
 		d.processCbcastLocked(gs, fanout)
 		sites := gs.view.SitesOf()
 		d.mu.Unlock()
-		for _, s := range sites {
-			if s == d.site {
-				continue
-			}
-			_ = d.sendPacket(s, fanout.Clone())
+		if raw, err := encodePacket(ptData, fanout); err == nil {
+			d.fanoutRaw(sites, raw)
 		}
 	case ABCAST:
 		st := d.initiateAbcastLocked(gs, id, fanout, nil)
@@ -396,8 +401,13 @@ func (d *Daemon) transmitAbcast(st *abSendState, pkt *msg.Message) {
 	}
 	d.mu.Unlock()
 
-	for _, s := range remote {
-		_ = d.sendPacket(s, pkt.Clone())
+	if len(remote) > 0 {
+		// Phase 1 is marshalled once and shared by every remote member site.
+		if raw, err := encodePacket(ptData, pkt); err == nil {
+			for _, s := range remote {
+				_ = d.sendRaw(s, raw)
+			}
+		}
 	}
 	if ready {
 		d.completeAbcast(st)
@@ -459,15 +469,12 @@ func (d *Daemon) completeAbcast(st *abSendState) {
 	d.mu.Unlock()
 
 	commit := msg.New()
-	commit.PutInt(fType, ptAbCommit)
 	commit.PutAddress(fGroup, gid)
 	putMsgID(commit, st.id)
 	commit.PutInt(fPriority, int64(final))
-	for _, s := range targets {
-		if s == d.site {
-			continue
-		}
-		_ = d.sendPacket(s, commit.Clone())
+	// Phase 2 is marshalled once for all destination sites.
+	if raw, err := encodePacket(ptAbCommit, commit); err == nil {
+		d.fanoutRaw(targets, raw)
 	}
 	d.handleAbCommit(d.site, commit)
 }
@@ -485,7 +492,7 @@ func (d *Daemon) handleAbCommit(from addr.SiteID, p *msg.Message) {
 		return
 	}
 	if gs.wedged {
-		gs.heldPkts = append(gs.heldPkts, heldPacket{from, p})
+		gs.heldPkts = append(gs.heldPkts, heldPacket{from, ptAbCommit, p})
 		d.mu.Unlock()
 		return
 	}
@@ -531,7 +538,7 @@ func (d *Daemon) handleData(from addr.SiteID, pkt *msg.Message) {
 		return
 	}
 	if gs.wedged {
-		gs.heldPkts = append(gs.heldPkts, heldPacket{from, pkt})
+		gs.heldPkts = append(gs.heldPkts, heldPacket{from, ptData, pkt})
 		d.mu.Unlock()
 		return
 	}
@@ -549,11 +556,10 @@ func (d *Daemon) handleData(from addr.SiteID, pkt *msg.Message) {
 		}
 		d.mu.Unlock()
 		resp := msg.New()
-		resp.PutInt(fType, ptAbPropose)
 		resp.PutAddress(fGroup, gid)
 		putMsgID(resp, id)
 		resp.PutInt(fPriority, int64(maxPrio))
-		_ = d.sendPacket(from, resp)
+		_ = d.sendPacket(from, ptAbPropose, resp)
 	default:
 		d.mu.Unlock()
 	}

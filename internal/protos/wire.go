@@ -45,29 +45,50 @@ func (p Protocol) String() string {
 	}
 }
 
-// Packet types exchanged between daemons. Every inter-site packet is a
-// marshalled msg.Message whose "&type" field holds one of these values.
-// Daemon-internal fields use the "&" prefix so they can never collide with
-// the application's fields or with the "@" system fields the toolkit sets.
+// Daemon wire envelope. Every daemon-to-daemon packet begins with a small
+// fixed-offset header followed by the marshalled msg.Message body:
+//
+//	byte 0   wireVersion
+//	byte 1   packet type (one of the pt* constants below)
+//	bytes 2+ marshalled msg.Message body (absent for heartbeats)
+//
+// Keeping the packet type at a fixed offset (rather than in a "&type" body
+// field, as earlier revisions did) lets handleTransport dispatch without
+// decoding the body, lets heartbeats skip message marshalling entirely, and
+// lets a multicast fan-out share one encoded body across every destination
+// site: the per-destination work is writing two header bytes, never
+// re-sorting and re-marshalling the symbol table.
+//
+// The transport below this layer batches whole envelopes into frames and
+// piggybacks its cumulative acks on them; see internal/transport for that
+// framing table.
 const (
-	ptData       = int64(iota + 1) // CBCAST data / ABCAST phase 1 / point-to-point
-	ptAbPropose                    // ABCAST phase 1 response: proposed priority
-	ptAbCommit                     // ABCAST phase 2: final priority
-	ptGbRequest                    // request to the group coordinator (join/leave/fail/user gbcast/config)
-	ptGbPrepare                    // GBCAST phase 1: wedge and report pending state
-	ptGbAck                        // GBCAST phase 1 response
-	ptGbCommit                     // GBCAST phase 2: install view / deliver payload
-	ptGbDone                       // coordinator's response to the original requester
-	ptLookup                       // symbolic name lookup request
-	ptLookupResp                   // lookup response
-	ptHeartbeat                    // failure-detector heartbeat
-	ptStateBlock                   // state transfer block for a joining member
-	ptError                        // negative response to a call
+	wireVersion   = 1
+	envelopeBytes = 2
 )
 
-// Field names used in daemon-to-daemon packets.
+// Packet types exchanged between daemons, carried in byte 1 of the wire
+// envelope. Daemon-internal body fields use the "&" prefix so they can never
+// collide with the application's fields or with the "@" system fields the
+// toolkit sets.
 const (
-	fType      = "&type"
+	ptData       = byte(iota + 1) // CBCAST data / ABCAST phase 1 / point-to-point
+	ptAbPropose                   // ABCAST phase 1 response: proposed priority
+	ptAbCommit                    // ABCAST phase 2: final priority
+	ptGbRequest                   // request to the group coordinator (join/leave/fail/user gbcast/config)
+	ptGbPrepare                   // GBCAST phase 1: wedge and report pending state
+	ptGbAck                       // GBCAST phase 1 response
+	ptGbCommit                    // GBCAST phase 2: install view / deliver payload
+	ptGbDone                      // coordinator's response to the original requester
+	ptLookup                      // symbolic name lookup request
+	ptLookupResp                  // lookup response
+	ptHeartbeat                   // failure-detector heartbeat (empty body)
+	ptStateBlock                  // state transfer block for a joining member
+	ptError                       // negative response to a call
+)
+
+// Field names used in daemon-to-daemon packet bodies.
+const (
 	fCall      = "&call"    // call id for request/response matching
 	fGroup     = "&group"   // group address
 	fViewID    = "&viewid"  // view id the packet refers to
@@ -93,7 +114,6 @@ const (
 	fStateLast = "&slast"   // last state block flag
 	fWantState = "&wantst"  // join wants a state transfer
 	fErr       = "&err"     // error text
-	fSite      = "&site"    // site id (heartbeats)
 )
 
 // GB request kinds carried in ptGbRequest packets.
@@ -139,8 +159,15 @@ func getMsgID(p *msg.Message) core.MsgID {
 	return core.MsgID{Sender: p.GetAddress(fMsgID), Seq: uint64(p.GetInt(fMsgSeq, 0))}
 }
 
-// putVT / getVT move a vector timestamp through a packet.
-func putVT(p *msg.Message, vt vclock.VC) { p.PutBytes(fVT, vt.Encode()) }
+// putVT / getVT move a vector timestamp through a packet. The encode side
+// stamps through pooled scratch so the CBCAST hot path does not allocate for
+// the timestamp bytes (PutBytes copies into the field's own storage).
+func putVT(p *msg.Message, vt vclock.VC) {
+	buf := msg.GetBuffer()
+	*buf = vt.AppendEncode(*buf)
+	p.PutBytes(fVT, *buf)
+	msg.PutBuffer(buf)
+}
 
 func getVT(p *msg.Message) vclock.VC {
 	vt, err := vclock.Decode(p.GetBytes(fVT))

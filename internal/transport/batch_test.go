@@ -1,0 +1,178 @@
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// TestCoalescingUnderLoad checks that when sends outpace the link, queued
+// fragments share frames: far fewer frames than fragments go on the wire.
+func TestCoalescingUnderLoad(t *testing.T) {
+	netCfg := simnet.FastConfig()
+	netCfg.SendCPU = 200 * time.Microsecond // make each frame cost something
+	t1, _, _, c2, done := pair(t, netCfg)
+	defer done()
+
+	const k = 100
+	for i := 0; i < k; i++ {
+		if err := t1.Send(2, []byte(fmt.Sprintf("m%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c2.waitFor(t, k, 10*time.Second)
+	for i := 0; i < k; i++ {
+		if got[i] != fmt.Sprintf("m%03d", i) {
+			t.Fatalf("position %d: got %q", i, got[i])
+		}
+	}
+	st := t1.Stats()
+	if st.FragmentsSent != k {
+		t.Errorf("FragmentsSent = %d, want %d", st.FragmentsSent, k)
+	}
+	if st.Coalesced == 0 {
+		t.Error("no fragments were coalesced under load")
+	}
+	if st.FramesSent >= st.FragmentsSent {
+		t.Errorf("FramesSent = %d not smaller than FragmentsSent = %d", st.FramesSent, st.FragmentsSent)
+	}
+}
+
+// TestPiggybackedAcks checks that reverse-direction data frames carry the
+// cumulative ack, sparing dedicated ack packets, and that the sender's
+// unacked window still drains.
+func TestPiggybackedAcks(t *testing.T) {
+	netCfg := simnet.FastConfig()
+	cfg := DefaultConfig(netCfg)
+	cfg.RetransmitInterval = 50 * time.Millisecond
+	cfg.AckDelay = 25 * time.Millisecond // generous window for piggybacking
+	n := simnet.New(netCfg)
+	defer n.Close()
+	c1, c2 := &collector{}, &collector{}
+	t1, err := New(n.AddSite(1), cfg, c1.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	t2, err := New(n.AddSite(2), cfg, c2.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2.Close()
+
+	// Ping-pong traffic: every reply's frame can carry the ack for the
+	// request it answers.
+	const k = 20
+	for i := 0; i < k; i++ {
+		if err := t1.Send(2, []byte(fmt.Sprintf("req%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		c2.waitFor(t, i+1, 2*time.Second)
+		if err := t2.Send(1, []byte(fmt.Sprintf("resp%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		c1.waitFor(t, i+1, 2*time.Second)
+	}
+	st2 := t2.Stats()
+	if st2.AcksPiggybacked == 0 {
+		t.Error("no acks were piggybacked on reverse traffic")
+	}
+	// Both unacked windows drain without waiting for retransmission.
+	deadline := time.Now().Add(2 * time.Second)
+	for t1.Unacked()+t2.Unacked() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("windows never drained: %d + %d", t1.Unacked(), t2.Unacked())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDisableBatchingAblation checks the unbatched baseline: exactly one
+// frame per fragment, nothing coalesced, delivery still reliable and FIFO.
+func TestDisableBatchingAblation(t *testing.T) {
+	netCfg := simnet.FastConfig()
+	cfg := DefaultConfig(netCfg)
+	cfg.RetransmitInterval = 10 * time.Millisecond
+	cfg.DisableBatching = true
+	n := simnet.New(netCfg)
+	defer n.Close()
+	c2 := &collector{}
+	t1, err := New(n.AddSite(1), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	t2, err := New(n.AddSite(2), cfg, c2.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2.Close()
+
+	const k = 50
+	for i := 0; i < k; i++ {
+		if err := t1.Send(2, []byte(fmt.Sprintf("m%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c2.waitFor(t, k, 5*time.Second)
+	for i := 0; i < k; i++ {
+		if got[i] != fmt.Sprintf("m%02d", i) {
+			t.Fatalf("position %d: got %q", i, got[i])
+		}
+	}
+	st := t1.Stats()
+	if st.FramesSent != st.FragmentsSent || st.Coalesced != 0 {
+		t.Errorf("unbatched baseline coalesced anyway: %+v", st)
+	}
+}
+
+// BenchmarkTransportThroughput measures one-way small-message throughput
+// with coalescing on and off — the transport-level ablation of the
+// batching optimisation.
+func BenchmarkTransportThroughput(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		unbatched bool
+	}{{"batched", false}, {"unbatched", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			netCfg := simnet.FastConfig()
+			netCfg.SendCPU = 20 * time.Microsecond
+			netCfg.RecvCPU = 20 * time.Microsecond
+			cfg := DefaultConfig(netCfg)
+			cfg.DisableBatching = mode.unbatched
+			n := simnet.New(netCfg)
+			defer n.Close()
+			var delivered atomic.Int64
+			t1, err := New(n.AddSite(1), cfg, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer t1.Close()
+			t2, err := New(n.AddSite(2), cfg, func(SiteID, []byte) { delivered.Add(1) })
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer t2.Close()
+
+			payload := make([]byte, 128)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := t1.Send(2, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for delivered.Load() < int64(b.N) {
+				time.Sleep(100 * time.Microsecond)
+			}
+			b.StopTimer()
+			st := t1.Stats()
+			if b.N > 1 {
+				b.ReportMetric(float64(st.FramesSent)/float64(b.N), "frames/msg")
+			}
+		})
+	}
+}

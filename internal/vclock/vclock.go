@@ -146,26 +146,43 @@ func (v VC) String() string {
 
 // Encode flattens the clock for inclusion in a message field.
 func (v VC) Encode() []byte {
-	out := make([]byte, 0, len(v)*8)
+	return v.AppendEncode(make([]byte, 0, len(v)*8))
+}
+
+// AppendEncode appends the wire form of v to dst and returns the extended
+// slice. Given sufficient capacity it does not allocate, which is what the
+// multicast hot path relies on when stamping packets from pooled scratch.
+func (v VC) AppendEncode(dst []byte) []byte {
 	for _, x := range v {
-		out = append(out,
+		dst = append(dst,
 			byte(x>>56), byte(x>>48), byte(x>>40), byte(x>>32),
 			byte(x>>24), byte(x>>16), byte(x>>8), byte(x))
 	}
-	return out
+	return dst
 }
 
 // Decode parses a clock previously produced by Encode. Trailing partial
 // entries are an error.
 func Decode(b []byte) (VC, error) {
+	return DecodeInto(nil, b)
+}
+
+// DecodeInto parses a clock from b into dst's storage, growing dst only when
+// its capacity is insufficient, and returns the decoded clock. Decoding a
+// stream of same-width timestamps into a recycled clock does not allocate.
+func DecodeInto(dst VC, b []byte) (VC, error) {
 	if len(b)%8 != 0 {
 		return nil, fmt.Errorf("vclock: encoding length %d is not a multiple of 8", len(b))
 	}
-	v := make(VC, len(b)/8)
-	for i := range v {
+	n := len(b) / 8
+	if cap(dst) < n {
+		dst = make(VC, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
 		off := i * 8
-		v[i] = uint64(b[off])<<56 | uint64(b[off+1])<<48 | uint64(b[off+2])<<40 | uint64(b[off+3])<<32 |
+		dst[i] = uint64(b[off])<<56 | uint64(b[off+1])<<48 | uint64(b[off+2])<<40 | uint64(b[off+3])<<32 |
 			uint64(b[off+4])<<24 | uint64(b[off+5])<<16 | uint64(b[off+6])<<8 | uint64(b[off+7])
 	}
-	return v, nil
+	return dst, nil
 }

@@ -1,0 +1,86 @@
+package vclock
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	v := VC{1, 1 << 40, 0, 7}
+	prefix := []byte{0xAA}
+	got := v.AppendEncode(append([]byte(nil), prefix...))
+	if !bytes.Equal(got[:1], prefix) {
+		t.Error("AppendEncode clobbered the prefix")
+	}
+	if !bytes.Equal(got[1:], v.Encode()) {
+		t.Errorf("AppendEncode = %x, Encode = %x", got[1:], v.Encode())
+	}
+}
+
+func TestDecodeIntoReusesStorage(t *testing.T) {
+	v := VC{3, 2, 1}
+	enc := v.Encode()
+	dst := make(VC, 0, 8)
+	out, err := DecodeInto(dst, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(v) {
+		t.Errorf("DecodeInto = %v, want %v", out, v)
+	}
+	if &out[0] != &dst[:1][0] {
+		t.Error("DecodeInto did not reuse the provided storage")
+	}
+	// Too-small capacity grows.
+	small := make(VC, 0, 1)
+	out, err = DecodeInto(small, enc)
+	if err != nil || !out.Equal(v) {
+		t.Errorf("DecodeInto with small scratch = %v, %v", out, err)
+	}
+	// Bad length still rejected.
+	if _, err := DecodeInto(nil, enc[:5]); err == nil {
+		t.Error("DecodeInto accepted a truncated encoding")
+	}
+}
+
+// TestEncodeDecodeZeroAllocs pins the allocation-free property of the
+// append-into-scratch variants the CBCAST stamping path depends on.
+func TestEncodeDecodeZeroAllocs(t *testing.T) {
+	v := VC{5, 4, 3, 2, 1}
+	scratch := make([]byte, 0, len(v)*8)
+	dst := make(VC, 0, len(v))
+	allocs := testing.AllocsPerRun(200, func() {
+		b := v.AppendEncode(scratch[:0])
+		out, err := DecodeInto(dst, b)
+		if err != nil {
+			panic(err)
+		}
+		dst = out[:0]
+	})
+	if allocs != 0 {
+		t.Errorf("encode/decode round trip allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkAppendEncode(b *testing.B) {
+	v := VC{1, 2, 3, 4, 5, 6, 7, 8}
+	scratch := make([]byte, 0, len(v)*8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		scratch = v.AppendEncode(scratch[:0])
+	}
+}
+
+func BenchmarkDecodeInto(b *testing.B) {
+	v := VC{1, 2, 3, 4, 5, 6, 7, 8}
+	enc := v.Encode()
+	dst := make(VC, 0, len(v))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := DecodeInto(dst, enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst = out[:0]
+	}
+}
