@@ -47,8 +47,9 @@ type Cluster struct {
 	cfg ClusterConfig
 	net *simnet.Network
 
-	mu    sync.Mutex
-	sites map[SiteID]*Site
+	mu      sync.Mutex
+	sites   map[SiteID]*Site
+	lastInc map[SiteID]addr.Incarnation // highest incarnation ever used per site id
 }
 
 // ErrNoSuchSite is returned when addressing an unknown or crashed site.
@@ -70,9 +71,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cfg.CallTimeout = 5 * time.Second
 	}
 	c := &Cluster{
-		cfg:   cfg,
-		net:   simnet.New(cfg.Net),
-		sites: make(map[SiteID]*Site),
+		cfg:     cfg,
+		net:     simnet.New(cfg.Net),
+		sites:   make(map[SiteID]*Site),
+		lastInc: make(map[SiteID]addr.Incarnation),
 	}
 	for i := 1; i <= cfg.Sites; i++ {
 		if _, err := c.AddSite(SiteID(i)); err != nil {
@@ -91,10 +93,15 @@ func (c *Cluster) Network() *simnet.Network { return c.net }
 func (c *Cluster) AddSite(id SiteID) (*Site, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// A site id that has ever been used before comes back with a fresh
+	// incarnation, whether the previous daemon is still attached or was
+	// crashed (and removed from the map) earlier; lastInc records every
+	// incarnation ever issued.
 	inc := addr.Incarnation(0)
-	if old, ok := c.sites[id]; ok {
-		inc = old.incarnation + 1
+	if last, ok := c.lastInc[id]; ok {
+		inc = last + 1
 	}
+	c.lastInc[id] = inc
 	d, err := protos.New(protos.Config{
 		Site:              id,
 		Incarnation:       inc,
@@ -147,6 +154,19 @@ func (c *Cluster) CrashSite(id SiteID) error {
 	}
 	s.daemon.Close()
 	return nil
+}
+
+// RestartSite models a site crashing and coming back up: the old daemon (if
+// one is still attached) stops and detaches from the network, and a fresh
+// daemon with a new incarnation re-attaches under the same site id. All
+// processes of the old incarnation are gone; the application re-spawns and
+// re-joins its groups (with a state transfer) exactly as the paper's
+// recovery model prescribes.
+func (c *Cluster) RestartSite(id SiteID) (*Site, error) {
+	if err := c.CrashSite(id); err != nil && !errors.Is(err, ErrNoSuchSite) {
+		return nil, err
+	}
+	return c.AddSite(id)
 }
 
 // Counters aggregates the protocol counters of every live site.

@@ -81,6 +81,12 @@ type localProc struct {
 	extSeq      map[addr.Address]uint64 // per-destination-group sequence for non-member CBCASTs
 	outstanding int                     // ABCASTs initiated and not yet committed (for flush)
 
+	// relayMu serializes this process's relayed CBCASTs so an extSeq number
+	// is only ever consumed by a relay that reached the wire (a failed
+	// relay rolls the counter back; without the serialization the rollback
+	// could strand a concurrently assigned later number).
+	relayMu sync.Mutex
+
 	queue chan func() // per-process delivery queue, drained by one goroutine
 }
 
@@ -112,8 +118,9 @@ type heldPacket struct {
 }
 
 type groupState struct {
-	view    core.View
-	members map[addr.Address]*memberState // local members only
+	view     core.View
+	prevView core.View                     // the view this site held before the current one
+	members  map[addr.Address]*memberState // local members only
 
 	wedged   bool         // a GBCAST flush is in progress
 	heldPkts []heldPacket // data packets held while wedged
@@ -125,9 +132,22 @@ type groupState struct {
 	gbSeq   uint64
 	gbBusy  bool
 	gbQueue []*gbWork
+
+	// gbDone records the stable request ids of GBCASTs whose commit this
+	// site has applied. Every member site keeps it, not just the
+	// coordinator, so that after a coordinator failure the successor can
+	// recognise a re-submitted request that already committed and answer it
+	// instead of running the protocol a second time.
+	gbDone      map[int64]bool
+	gbDoneOrder []int64 // insertion order, for bounding
 }
 
 const recentLimit = 256
+
+// gbDoneLimit bounds the per-group memory of completed request ids. A
+// requester retries within a few call timeouts, so only recent history is
+// ever consulted.
+const gbDoneLimit = 256
 
 // abSendState is the initiator-side state of one ABCAST (phase 1 responses
 // still outstanding).
@@ -168,7 +188,9 @@ type Daemon struct {
 	suspected   map[addr.SiteID]bool
 	monitored   map[addr.SiteID]bool
 	calls       map[int64]chan *msg.Message
+	callSite    map[int64]addr.SiteID // destination of each pending call
 	nextCall    int64
+	nextReqID   int64
 	pendingAb   map[core.MsgID]*abSendState
 	pendingJoin map[joinKey]pendingJoin
 	siteWatch   []func(fdetect.Event)
@@ -202,6 +224,11 @@ func New(cfg Config) (*Daemon, error) {
 	if trCfg.RetransmitInterval == 0 {
 		trCfg.RetransmitInterval = trDef.RetransmitInterval
 	}
+	if trCfg.Epoch == 0 {
+		// Stream epochs derive from the incarnation so peers distinguish a
+		// restarted site's fresh numbering from duplicate traffic.
+		trCfg.Epoch = uint64(cfg.Incarnation) + 1
+	}
 	detCfg := cfg.Detector
 	if detCfg.HeartbeatInterval == 0 {
 		detCfg = fdetect.DefaultConfig()
@@ -220,6 +247,7 @@ func New(cfg Config) (*Daemon, error) {
 		suspected:   make(map[addr.SiteID]bool),
 		monitored:   make(map[addr.SiteID]bool),
 		calls:       make(map[int64]chan *msg.Message),
+		callSite:    make(map[int64]addr.SiteID),
 		pendingAb:   make(map[core.MsgID]*abSendState),
 		pendingJoin: make(map[joinKey]pendingJoin),
 	}
@@ -352,7 +380,7 @@ func (d *Daemon) KillProcess(p addr.Address) error {
 	d.mu.Unlock()
 
 	for _, gid := range affected {
-		d.requestRemoval(gid, []addr.Address{p.Base()}, gbFail)
+		d.requestRemoval(gid, []addr.Address{p.Base()}, gbFail, false)
 	}
 	return nil
 }
@@ -462,6 +490,47 @@ func (d *Daemon) dropCall(id int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	delete(d.calls, id)
+	delete(d.callSite, id)
+}
+
+// newReqID mints a stable, globally unique GBCAST request id. The id
+// travels with the request across coordinator fail-over re-submissions and
+// with the resulting commit, so a request is executed at most once no
+// matter how many coordinators handle it. The incarnation participates so
+// that a restarted site's fresh counter can never collide with ids its
+// previous incarnation already committed (a collision would make the
+// commit-record dedupe swallow the restarted site's first requests).
+func (d *Daemon) newReqID() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextReqID++
+	return (int64(d.site)<<16|int64(d.cfg.Incarnation)&0xffff)<<32 | d.nextReqID&0xffffffff
+}
+
+// failCallsTo aborts every pending call addressed to a site the failure
+// detector has declared dead, so callers (coordinator requests, lookups)
+// retry against a successor immediately instead of waiting out the call
+// timeout.
+func (d *Daemon) failCallsTo(s addr.SiteID) {
+	d.mu.Lock()
+	var chans []chan *msg.Message
+	for id, target := range d.callSite {
+		if target != s {
+			continue
+		}
+		if ch, ok := d.calls[id]; ok {
+			chans = append(chans, ch)
+		}
+	}
+	d.mu.Unlock()
+	for _, ch := range chans {
+		m := msg.New()
+		m.PutString(fErr, "site failed")
+		select {
+		case ch <- m:
+		default:
+		}
+	}
 }
 
 // respond delivers a response to a pending call, if it still exists.
@@ -483,6 +552,9 @@ func (d *Daemon) respond(callID int64, m *msg.Message) {
 func (d *Daemon) call(to addr.SiteID, pt byte, req *msg.Message) (*msg.Message, error) {
 	id, ch := d.newCall()
 	defer d.dropCall(id)
+	d.mu.Lock()
+	d.callSite[id] = to
+	d.mu.Unlock()
 	req.PutInt(fCall, id)
 	if err := d.sendPacket(to, pt, req); err != nil {
 		return nil, err
@@ -562,6 +634,9 @@ func (d *Daemon) onDetectorEvent(ev fdetect.Event) {
 		w(ev)
 	}
 	if ev.Kind == fdetect.SiteFailed {
+		// Abort in-flight calls to the dead site first so their callers
+		// re-route to the successor while the failure is handled.
+		d.failCallsTo(ev.Site)
 		d.handleSiteFailure(ev.Site)
 	}
 }

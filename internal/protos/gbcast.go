@@ -22,6 +22,8 @@ type gbWork struct {
 	payload   *msg.Message
 	entry     addr.EntryID
 	sender    addr.Address
+	reqID     int64       // stable request id; survives coordinator fail-over
+	force     bool        // run the full wedge/flush even if the change is a no-op
 	replyTo   addr.SiteID // requester site (0 when local)
 	replyCall int64
 	done      chan *msg.Message // local requester waits here (nil otherwise)
@@ -38,6 +40,8 @@ func (d *Daemon) handleGbRequest(from addr.SiteID, p *msg.Message) {
 		payload:   p.GetMessage(fPayload),
 		entry:     addr.EntryID(p.GetInt(fEntry, 0)),
 		sender:    p.GetAddress(fSender),
+		reqID:     p.GetInt(fReqID, 0),
+		force:     p.GetInt(fForce, 0) == 1,
 		replyTo:   from,
 		replyCall: p.GetInt(fCall, 0),
 	}
@@ -57,6 +61,8 @@ func (d *Daemon) localGbRequest(gid addr.Address, req *msg.Message) (*msg.Messag
 		payload:   req.GetMessage(fPayload),
 		entry:     addr.EntryID(req.GetInt(fEntry, 0)),
 		sender:    req.GetAddress(fSender),
+		reqID:     req.GetInt(fReqID, 0),
+		force:     req.GetInt(fForce, 0) == 1,
 		done:      make(chan *msg.Message, 1),
 	}
 	if err := d.enqueueGb(w); err != nil {
@@ -121,42 +127,75 @@ func (d *Daemon) executeGb(w *gbWork) {
 		d.gbReply(w, nil, ErrUnknownGroup.Error())
 		return
 	}
+	if w.reqID != 0 && gs.gbDone[w.reqID] {
+		// The request already committed — typically under a previous
+		// coordinator that died after sending its commit but before
+		// answering the requester. Answer with the current view instead of
+		// executing the protocol a second time.
+		resp := msg.New()
+		resp.PutMessage(fView, encodeView(gs.view))
+		d.mu.Unlock()
+		d.gbReply(w, resp, "")
+		return
+	}
 	oldView := gs.view.Clone()
 	gs.gbSeq++
 	seq := gs.gbSeq
 	d.counters.GBCASTs++
 	d.mu.Unlock()
 
-	// Skip no-op membership changes (e.g. a failure already handled).
-	if w.kind == gbFail || w.kind == gbLeave {
-		all := true
-		for _, p := range w.procs {
-			if oldView.Contains(p) {
-				all = false
-				break
+	// Skip no-op membership changes (a failure already handled, or a
+	// re-submitted join whose commit already reached this site) — unless
+	// the work is a forced takeover flush, which must run the full
+	// protocol precisely because other members may not have seen the
+	// commit that made it a no-op here.
+	if !w.force {
+		switch w.kind {
+		case gbFail, gbLeave:
+			all := true
+			for _, p := range w.procs {
+				if oldView.Contains(p) {
+					all = false
+					break
+				}
 			}
-		}
-		if all {
-			resp := msg.New()
-			resp.PutMessage(fView, encodeView(oldView))
-			d.gbReply(w, resp, "")
-			return
+			if all {
+				resp := msg.New()
+				resp.PutMessage(fView, encodeView(oldView))
+				d.gbReply(w, resp, "")
+				return
+			}
+		case gbJoin:
+			all := true
+			for _, p := range w.procs {
+				if !oldView.Contains(p) {
+					all = false
+					break
+				}
+			}
+			if all {
+				resp := msg.New()
+				resp.PutMessage(fView, encodeView(oldView))
+				d.gbReply(w, resp, "")
+				return
+			}
 		}
 	}
 
 	// Phase 1: wedge every member site of the old view and collect pending
-	// state reports.
+	// state reports, along with each member's current view.
 	prepare := msg.New()
 	prepare.PutAddress(fGroup, w.gid)
 	prepare.PutInt(fGbID, int64(seq))
 	prepare.PutInt(fViewID, int64(oldView.ID))
 
 	reports := make(map[addr.SiteID]pendingReport)
+	views := make(map[addr.SiteID]core.View)
 	var repMu sync.Mutex
 	var wg sync.WaitGroup
 	for _, site := range oldView.SitesOf() {
 		if site == d.site {
-			rep := d.prepareLocal(w.gid)
+			rep, _ := d.prepareLocal(w.gid)
 			repMu.Lock()
 			reports[d.site] = rep
 			repMu.Unlock()
@@ -171,28 +210,74 @@ func (d *Daemon) executeGb(w *gbWork) {
 		wg.Add(1)
 		go func(site addr.SiteID) {
 			defer wg.Done()
-			// Clone per call: d.call stamps a per-exchange call id into the
-			// body, and these calls run concurrently.
-			resp, err := d.call(site, ptGbPrepare, prepare.Clone())
+			// Retry a failed prepare while the member site is still believed
+			// alive: silently treating a transient call failure as a site
+			// death would let this coordinator mint a view id the unreached
+			// member may already hold with different contents (it would then
+			// drop the commit as stale and diverge). Once the detector
+			// declares the site dead, its members are removed later and the
+			// missing report is legitimate. Calls to a site declared dead
+			// mid-exchange abort immediately (failCallsTo), so the retries
+			// never outlive the suspicion.
+			var resp *msg.Message
+			var err error
+			for attempt := 0; attempt < 3; attempt++ {
+				// Clone per call: d.call stamps a per-exchange call id into
+				// the body, and these calls run concurrently.
+				resp, err = d.call(site, ptGbPrepare, prepare.Clone())
+				if err == nil {
+					break
+				}
+				d.mu.Lock()
+				dead := d.suspected[site]
+				d.mu.Unlock()
+				if dead {
+					return // treat as failed; its members will be removed later
+				}
+			}
 			if err != nil {
-				return // treat as failed; its members will be removed later
+				return
 			}
 			repMu.Lock()
 			reports[site] = decodePendingReport(resp.GetMessage(fPending))
+			if v := decodeView(resp.GetMessage(fView)); v.ID > 0 {
+				views[site] = v
+			}
 			repMu.Unlock()
 		}(site)
 	}
 	wg.Wait()
 
+	// A coordinator taking over from one that died mid-commit may find
+	// members already at a later view than its own: base the change on the
+	// most advanced view any member reports, so the dead coordinator's
+	// partially completed commit is finished (re-run, idempotently) rather
+	// than contradicted by a conflicting view with the same id.
+	base := oldView
+	for _, v := range views {
+		if v.Group == base.Group && v.ID > base.ID {
+			base = v.Clone()
+		}
+	}
+
 	// Compute the new view.
-	newView := oldView
+	newView := base
 	switch w.kind {
 	case gbJoin:
-		newView = oldView.WithJoined(w.procs...)
+		if !allContained(base, w.procs) {
+			newView = base.WithJoined(w.procs...)
+		}
 	case gbLeave, gbFail:
-		newView = oldView.WithRemoved(w.procs...)
+		if anyContained(base, w.procs) {
+			newView = base.WithRemoved(w.procs...)
+		}
+		// Otherwise every member being removed is already gone from the
+		// most advanced view: this is a pure re-synchronising flush, so the
+		// commit re-announces that view without minting a new id (members
+		// already there treat it as stale and only unwedge; members behind
+		// catch up to it).
 	case gbUser, gbConfigHint:
-		newView = oldView // unchanged; the GBCAST only carries a payload
+		newView = base // unchanged; the GBCAST only carries a payload
 	}
 
 	// Reconcile pending state across members so that the atomicity rule
@@ -202,7 +287,7 @@ func (d *Daemon) executeGb(w *gbWork) {
 	// re-disseminated before the GBCAST point.
 	rec := reconcile(reports, w.kind == gbFail, w.procs)
 
-	// Phase 2: commit at every member site of old and new views.
+	// Phase 2: commit at every member site of old, base, and new views.
 	commit := msg.New()
 	commit.PutAddress(fGroup, w.gid)
 	commit.PutInt(fGbID, int64(seq))
@@ -210,6 +295,9 @@ func (d *Daemon) executeGb(w *gbWork) {
 	commit.PutAddressList(fProcs, w.procs)
 	commit.PutMessage(fView, encodeView(newView))
 	commit.PutMessage(fRebcast, encodePendingReport(rec))
+	if w.reqID != 0 {
+		commit.PutInt(fReqID, w.reqID)
+	}
 	if w.wantState {
 		commit.PutInt(fWantState, 1)
 	}
@@ -221,6 +309,9 @@ func (d *Daemon) executeGb(w *gbWork) {
 
 	targets := map[addr.SiteID]bool{}
 	for _, s := range oldView.SitesOf() {
+		targets[s] = true
+	}
+	for _, s := range base.SitesOf() {
 		targets[s] = true
 	}
 	for _, s := range newView.SitesOf() {
@@ -336,16 +427,17 @@ func reconcile(reports map[addr.SiteID]pendingReport, removingFailed bool, remov
 }
 
 // prepareLocal wedges the group at this site and returns its pending-state
-// report (the coordinator's own contribution to phase 1).
-func (d *Daemon) prepareLocal(gid addr.Address) pendingReport {
+// report (the coordinator's own contribution to phase 1) together with the
+// site's current view of the group.
+func (d *Daemon) prepareLocal(gid addr.Address) (pendingReport, core.View) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	gs, ok := d.groups[gid]
 	if !ok {
-		return pendingReport{}
+		return pendingReport{}, core.View{}
 	}
 	gs.wedged = true
-	return d.buildReportLocked(gs)
+	return d.buildReportLocked(gs), gs.view.Clone()
 }
 
 // buildReportLocked summarises the pending and recently delivered messages
@@ -374,13 +466,29 @@ func (d *Daemon) buildReportLocked(gs *groupState) pendingReport {
 	return rep
 }
 
-// handleGbPrepare processes phase 1 at a non-coordinator member site.
+// handleGbPrepare processes phase 1 at a non-coordinator member site. The
+// ack carries this site's current view alongside its pending report so that
+// a coordinator taking over mid-protocol can base the new view on the most
+// advanced copy any survivor holds.
 func (d *Daemon) handleGbPrepare(from addr.SiteID, p *msg.Message) {
+	d.mu.Lock()
+	dead := d.suspected[from]
+	d.mu.Unlock()
+	if dead {
+		// A straggling prepare from a coordinator already declared failed
+		// (e.g. held in the network across the crash): wedging for it would
+		// freeze the group with nobody left to run the commit that
+		// unwedges it. The takeover flush owns the group now.
+		return
+	}
 	gid := p.GetAddress(fGroup)
-	rep := d.prepareLocal(gid.Base())
+	rep, view := d.prepareLocal(gid.Base())
 	resp := msg.New()
 	resp.PutInt(fCall, p.GetInt(fCall, 0))
 	resp.PutMessage(fPending, encodePendingReport(rep))
+	if view.ID > 0 {
+		resp.PutMessage(fView, encodeView(view))
+	}
 	_ = d.sendPacket(from, ptGbAck, resp)
 }
 
@@ -399,6 +507,7 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 	rec := decodePendingReport(p.GetMessage(fRebcast))
 	procs := p.GetAddressList(fProcs)
 	wantState := p.GetInt(fWantState, 0) == 1
+	reqID := p.GetInt(fReqID, 0)
 
 	d.mu.Lock()
 	gs, hosted := d.groups[gid.Base()]
@@ -417,8 +526,11 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 			d.cacheRemoteView(newView)
 			return
 		}
+		// The view itself is installed by applyViewChangeLocked below; the
+		// stub starts at view id 0 so the commit's view is never mistaken
+		// for already-installed.
 		gs = &groupState{
-			view:    newView.Clone(),
+			view:    core.View{Group: gid.Base(), Name: newView.Name},
 			members: make(map[addr.Address]*memberState),
 			recent:  make(map[core.MsgID]*msg.Message),
 		}
@@ -426,6 +538,15 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 		if newView.Name != "" {
 			d.nameCache[newView.Name] = gid.Base()
 		}
+	}
+
+	// Record the request id and detect re-executions: a commit for a
+	// request this site already applied (re-sent by a coordinator that died
+	// mid-fan-out, or re-run by its successor) must not deliver its user
+	// payload a second time. View changes are deduplicated by view id.
+	dupReq := reqID != 0 && gs.gbDone[reqID]
+	if reqID != 0 {
+		recordGbDoneLocked(gs, reqID)
 	}
 
 	// Step 1: re-disseminated messages are delivered before the GBCAST
@@ -449,6 +570,14 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 			if ab.Committed {
 				var payload any = ab.Packet
 				for _, del := range ms.total.ForceCommit(ab.ID, payload, ab.Priority) {
+					if ms.redelivered[del.ID] {
+						// Already handed to this member by the Recent
+						// re-dissemination above; the queue state is
+						// advanced, only the duplicate callback is
+						// suppressed.
+						delete(ms.redelivered, del.ID)
+						continue
+					}
 					if pkt, ok := del.Payload.(*msg.Message); ok && pkt != nil {
 						d.recordRecentLocked(gs, del.ID, pkt)
 						d.deliverDataLocked(ms, pkt)
@@ -466,7 +595,7 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 		payload := p.GetMessage(fPayload)
 		entry := addr.EntryID(p.GetInt(fEntry, 0))
 		sender := p.GetAddress(fSender)
-		if payload != nil {
+		if payload != nil && !dupReq {
 			for _, ms := range gs.members {
 				d.deliverPayloadLocked(gs, ms, sender, GBCAST, entry, payload)
 			}
@@ -492,6 +621,24 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 	}
 }
 
+// recordGbDoneLocked remembers that a GBCAST request id has committed at
+// this site, bounding the history. Caller holds d.mu.
+func recordGbDoneLocked(gs *groupState, reqID int64) {
+	if gs.gbDone == nil {
+		gs.gbDone = make(map[int64]bool)
+	}
+	if gs.gbDone[reqID] {
+		return
+	}
+	gs.gbDone[reqID] = true
+	gs.gbDoneOrder = append(gs.gbDoneOrder, reqID)
+	if len(gs.gbDoneOrder) > gbDoneLimit {
+		old := gs.gbDoneOrder[0]
+		gs.gbDoneOrder = gs.gbDoneOrder[1:]
+		delete(gs.gbDone, old)
+	}
+}
+
 // dispatchHeld reprocesses a packet whose handling was deferred while the
 // group was wedged, routing it by the envelope type remembered at hold time
 // (data packets and ABCAST commits can both be held).
@@ -506,12 +653,16 @@ func (d *Daemon) dispatchHeld(h heldPacket) {
 
 // applyViewChangeLocked installs a new membership view. Caller holds d.mu.
 func (d *Daemon) applyViewChangeLocked(gs *groupState, newView core.View, kind int64, procs []addr.Address, wantState bool) {
-	if newView.ID <= gs.view.ID && !gs.view.Equal(core.View{}) && newView.ID != 0 {
-		if newView.ID < gs.view.ID {
-			return // stale commit
-		}
+	if gs.view.ID != 0 && newView.ID <= gs.view.ID {
+		// Stale or duplicate commit: a view with this id (or a later one)
+		// is already installed. Re-applying it would re-clone the view and
+		// re-invoke every member's deliverView callback — the retransmitted
+		// commit only needs its unwedge side effect, which the caller
+		// performs regardless.
+		return
 	}
 	old := gs.view
+	gs.prevView = old
 	gs.view = newView.Clone()
 	d.counters.ViewChanges++
 
@@ -602,6 +753,26 @@ func contains(list []addr.Address, a addr.Address) bool {
 	return false
 }
 
+// allContained reports whether every listed process is a member of the view.
+func allContained(v core.View, ps []addr.Address) bool {
+	for _, p := range ps {
+		if !v.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// anyContained reports whether any listed process is a member of the view.
+func anyContained(v core.View, ps []addr.Address) bool {
+	for _, p := range ps {
+		if v.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
 // sendStateBlocks captures the group state from the provider and ships it to
 // each joiner's site. Runs on the providing member's task queue.
 func (d *Daemon) sendStateBlocks(gid addr.Address, joiners []addr.Address, provider func() [][]byte) {
@@ -671,7 +842,15 @@ func (d *Daemon) handleStateBlock(from addr.SiteID, p *msg.Message) {
 // handleSiteFailure reacts to the failure detector declaring a site dead:
 // ABCASTs waiting on its proposals complete without it, and if this daemon
 // hosts the acting coordinator of a group with members at the dead site, it
-// initiates their removal.
+// initiates their removal. When the dead site hosted the group's previous
+// acting coordinator, the removal is forced: the old coordinator may have
+// died mid-flush — members wedged by its prepare, its commit delivered to
+// only some of them, its gbQueue lost — so the successor must re-run the
+// full wedge/flush even if the membership change itself turns out to be a
+// no-op at this site. Requests orphaned at the dead coordinator are
+// re-submitted by their requesters (coordinatorCall retries with a stable
+// request id once failCallsTo aborts the in-flight exchange), and the
+// commit-time dedupe keeps re-execution idempotent.
 func (d *Daemon) handleSiteFailure(s addr.SiteID) {
 	d.mu.Lock()
 	var toFinish []*abSendState
@@ -687,6 +866,7 @@ func (d *Daemon) handleSiteFailure(s addr.SiteID) {
 	type removal struct {
 		gid   addr.Address
 		procs []addr.Address
+		force bool
 	}
 	var removals []removal
 	for gid, gs := range d.groups {
@@ -696,13 +876,43 @@ func (d *Daemon) handleSiteFailure(s addr.SiteID) {
 				atSite = append(atSite, m)
 			}
 		}
+		force := false
 		if len(atSite) == 0 {
-			continue
+			// No members of the dead site in our current view — but it may
+			// have coordinated the change that removed them, and died before
+			// its commit reached every member. If it hosted members one view
+			// ago, run a forced re-sync flush anyway so any member still
+			// holding (or wedged under) the previous view catches up.
+			for _, m := range gs.prevView.Members {
+				if m.Site == s {
+					atSite = append(atSite, m)
+					force = true
+					break
+				}
+			}
+			if len(atSite) == 0 {
+				continue
+			}
 		}
 		coord := d.actingCoordinator(gs.view)
-		if !coord.IsNil() && coord.Site == d.site {
-			removals = append(removals, removal{gid, atSite})
+		if coord.IsNil() || coord.Site != d.site {
+			continue
 		}
+		// Was the previous acting coordinator hosted at the dead site? Walk
+		// the ranking as it stood before s was suspected (s is already in
+		// d.suspected here, so treat it as alive for this scan).
+		if !force {
+			for _, m := range gs.view.Members {
+				if m.Site == s {
+					force = true
+					break
+				}
+				if !d.suspected[m.Site] && !d.failedProcs[m.Base()] {
+					break
+				}
+			}
+		}
+		removals = append(removals, removal{gid, atSite, force})
 	}
 	d.mu.Unlock()
 
@@ -710,6 +920,6 @@ func (d *Daemon) handleSiteFailure(s addr.SiteID) {
 		d.finishAbcast(st)
 	}
 	for _, r := range removals {
-		d.requestRemoval(r.gid, r.procs, gbFail)
+		d.requestRemoval(r.gid, r.procs, gbFail, r.force)
 	}
 }

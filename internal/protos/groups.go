@@ -362,8 +362,15 @@ func (d *Daemon) actingCoordinator(v core.View) addr.Address {
 
 // coordinatorCall routes a gbRequest to the group's acting coordinator and
 // waits for its gbDone response, retrying with a refreshed view if the
-// coordinator cannot be reached (it may have failed).
+// coordinator cannot be reached (it may have failed). The request carries a
+// stable request id minted once here: when a coordinator dies after
+// committing but before answering, the re-submission reaches the successor
+// with the same id and is answered from the commit record instead of being
+// executed twice.
 func (d *Daemon) coordinatorCall(gid addr.Address, req *msg.Message) (*msg.Message, error) {
+	if req.GetInt(fReqID, 0) == 0 {
+		req.PutInt(fReqID, d.newReqID())
+	}
 	var lastErr error
 	for attempt := 0; attempt < 4; attempt++ {
 		view, ok := d.CurrentView(gid)
@@ -413,12 +420,18 @@ func (d *Daemon) coordinatorCall(gid addr.Address, req *msg.Message) (*msg.Messa
 
 // requestRemoval initiates removal of members (voluntarily or by failure)
 // from a group. It is asynchronous; the resulting view change propagates
-// through the normal GBCAST path.
-func (d *Daemon) requestRemoval(gid addr.Address, procs []addr.Address, kind int64) {
+// through the normal GBCAST path. A forced removal runs the full
+// wedge/flush even when the members are already gone from the view — the
+// takeover path uses it to finish a dead coordinator's partially completed
+// protocol.
+func (d *Daemon) requestRemoval(gid addr.Address, procs []addr.Address, kind int64, force bool) {
 	req := msg.New()
 	req.PutInt(fKind, kind)
 	req.PutAddress(fGroup, gid.Base())
 	req.PutAddressList(fProcs, procs)
+	if force {
+		req.PutInt(fForce, 1)
+	}
 	go func() {
 		_, _ = d.coordinatorCall(gid, req)
 	}()

@@ -264,17 +264,11 @@ func (d *Daemon) sendMemberCbcastLocked(gs *groupState, ms *memberState, sender,
 // authoritative view. FIFO order per sender is preserved by a per-sender
 // sequence number assigned here.
 func (d *Daemon) relayExternalMulticast(sender addr.Address, lp *localProc, proto Protocol, gid addr.Address, id core.MsgID, entry addr.EntryID, payload *msg.Message) error {
-	// Only CBCAST uses the per-sender FIFO sequence: ABCAST ordering is
-	// established by the priority agreement, so consuming a FIFO number for
-	// it would leave a permanent gap in the receivers' expected sequence.
-	var extSeq uint64
-	if proto == CBCAST {
-		d.mu.Lock()
-		lp.extSeq[gid]++
-		extSeq = lp.extSeq[gid]
-		d.mu.Unlock()
-	}
-
+	// View resolution happens before any FIFO sequence is consumed: it is
+	// the step most likely to fail (remote lookup of an unknown or
+	// unreachable group), and a sequence number consumed by a failed relay
+	// would leave a permanent hole that stalls every later relayed CBCAST
+	// from this sender in the receivers' causal queues.
 	view, ok := d.CurrentView(gid)
 	if !ok {
 		v, err := d.refreshView(gid)
@@ -291,23 +285,41 @@ func (d *Daemon) relayExternalMulticast(sender addr.Address, lp *localProc, prot
 	}
 
 	pkt := d.buildDataPacket(proto, gid, view.ID, id, sender, -1, entry, payload)
-	if proto == CBCAST {
-		pkt.PutInt(fExtSeq, int64(extSeq))
-	}
 	pkt.PutInt(fRelay, 1)
-	// CBCAST relays are counted here (the coordinator only fans them out);
-	// ABCAST relays are counted once, by the coordinator that initiates the
-	// two-phase protocol.
-	if proto == CBCAST {
-		d.mu.Lock()
-		d.counters.CBCASTs++
-		d.mu.Unlock()
+
+	if proto != CBCAST {
+		// ABCAST ordering is established by the priority agreement, so it
+		// never consumes a FIFO number (a gap would stall the receivers'
+		// expected sequence). ABCAST relays are counted by the coordinator
+		// that initiates the two-phase protocol.
+		if coord.Site == d.site {
+			d.relayMulticast(d.site, pkt)
+			return nil
+		}
+		return d.sendPacket(coord.Site, ptData, pkt)
 	}
+
+	// CBCAST: assign the per-sender FIFO sequence only now that the relay
+	// is committed to the wire, and roll it back if the send fails.
+	lp.relayMu.Lock()
+	defer lp.relayMu.Unlock()
+	d.mu.Lock()
+	lp.extSeq[gid]++
+	extSeq := lp.extSeq[gid]
+	d.counters.CBCASTs++
+	d.mu.Unlock()
+	pkt.PutInt(fExtSeq, int64(extSeq))
 	if coord.Site == d.site {
 		d.relayMulticast(d.site, pkt)
 		return nil
 	}
-	return d.sendPacket(coord.Site, ptData, pkt)
+	if err := d.sendPacket(coord.Site, ptData, pkt); err != nil {
+		d.mu.Lock()
+		lp.extSeq[gid]-- // relayMu guarantees no later number was handed out
+		d.mu.Unlock()
+		return err
+	}
+	return nil
 }
 
 // relayMulticast runs at the coordinator site: it fans an external sender's
@@ -498,6 +510,13 @@ func (d *Daemon) handleAbCommit(from addr.SiteID, p *msg.Message) {
 	}
 	for _, ms := range gs.members {
 		for _, del := range ms.total.Commit(id, final) {
+			if ms.redelivered[del.ID] {
+				// A GBCAST flush already re-disseminated this message to the
+				// member (its commit was in flight when the group wedged);
+				// the late commit only advances the queue state.
+				delete(ms.redelivered, del.ID)
+				continue
+			}
 			if pkt, ok := del.Payload.(*msg.Message); ok && pkt != nil {
 				d.recordRecentLocked(gs, del.ID, pkt)
 				d.deliverDataLocked(ms, pkt)

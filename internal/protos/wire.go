@@ -114,6 +114,8 @@ const (
 	fStateLast = "&slast"   // last state block flag
 	fWantState = "&wantst"  // join wants a state transfer
 	fErr       = "&err"     // error text
+	fReqID     = "&reqid"   // stable GBCAST request id, survives coordinator fail-over
+	fForce     = "&force"   // run the full wedge/flush even for a no-op change
 )
 
 // GB request kinds carried in ptGbRequest packets.

@@ -1,10 +1,12 @@
 // Package simnet simulates the conventional LAN assumed by the paper
 // (Section 2.1): a set of computing sites exchanging packets over links with
 // configurable latency, bandwidth, per-packet CPU cost, and probabilistic
-// message loss. Links never partition (partitioning failures are outside the
-// paper's fault model) but individual packets may be lost; the reliable
-// transport layered above (internal/transport) masks loss with
-// retransmission.
+// message loss. Individual packets may be lost; the reliable transport
+// layered above (internal/transport) masks loss with retransmission. Links
+// never partition spontaneously (partitioning failures are outside the
+// paper's fault model), but fault-injection tests may cut or pause links
+// deliberately with Partition and PauseLink to drive the protocols through
+// failure scenarios.
 //
 // The simulator is a real-time one: a packet handed to Send is delivered to
 // the destination endpoint's receive channel after the configured delay has
@@ -120,6 +122,7 @@ type Stats struct {
 	PacketsSent      uint64
 	PacketsDelivered uint64
 	PacketsDropped   uint64 // lost by the loss model
+	PacketsBlocked   uint64 // dropped by an injected partition
 	PacketsDiscarded uint64 // destination detached before delivery
 	BytesSent        uint64
 	BytesDelivered   uint64
@@ -133,7 +136,9 @@ type Network struct {
 
 	mu        sync.Mutex
 	endpoints map[SiteID]*Endpoint
-	links     map[linkKey]*link // per-directed-link FIFO delivery queues
+	links     map[linkKey]*link         // per-directed-link FIFO delivery queues
+	blocked   map[linkKey]bool          // injected partitions (packets dropped at send)
+	paused    map[linkKey]chan struct{} // injected pauses (packets held in order)
 	rng       *rand.Rand
 	stats     Stats
 	busy      map[SiteID]time.Duration
@@ -148,7 +153,8 @@ type linkKey struct{ from, to SiteID }
 // drains it, sleeping until each packet's delivery time, which guarantees
 // per-link FIFO delivery regardless of timer scheduling.
 type link struct {
-	ch chan scheduled
+	key linkKey
+	ch  chan scheduled
 }
 
 type scheduled struct {
@@ -165,6 +171,8 @@ func New(cfg Config) *Network {
 		cfg:       cfg,
 		endpoints: make(map[SiteID]*Endpoint),
 		links:     make(map[linkKey]*link),
+		blocked:   make(map[linkKey]bool),
+		paused:    make(map[linkKey]chan struct{}),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		busy:      make(map[SiteID]time.Duration),
 		done:      make(chan struct{}),
@@ -195,6 +203,7 @@ func (n *Network) AddSite(id SiteID) *Endpoint {
 		id:   id,
 		net:  n,
 		recv: make(chan Packet, n.cfg.QueueLen),
+		done: make(chan struct{}),
 	}
 	n.endpoints[id] = ep
 	return ep
@@ -270,6 +279,95 @@ func (n *Network) Close() {
 	close(n.done)
 }
 
+// ---------------------------------------------------------------------------
+// Controllable link faults. The paper's fault model assumes the LAN never
+// partitions; these controls deliberately step outside it so tests can drive
+// the protocols through coordinator crashes, lost flushes, and recovery.
+
+// Partition cuts both directions of the (a, b) link: packets submitted while
+// the partition is in place are silently dropped, exactly as if the wire
+// were unplugged. Packets already in flight still arrive. The reliable
+// transport retransmits across the outage, so Heal lets traffic resume.
+func (n *Network) Partition(a, b SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[linkKey{a, b}] = true
+	n.blocked[linkKey{b, a}] = true
+}
+
+// Heal removes the partition between a and b.
+func (n *Network) Heal(a, b SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, linkKey{a, b})
+	delete(n.blocked, linkKey{b, a})
+}
+
+// HealAll removes every injected partition.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked = make(map[linkKey]bool)
+}
+
+// PauseLink suspends delivery on the directed link from → to: packets
+// already in flight and packets sent while paused are held, in order, and
+// delivered when the link resumes. Unlike Partition nothing is lost — pause
+// models a congested or slow link rather than a cut one, and is the tool
+// for freezing a protocol at a chosen point (e.g. a coordinator's commit).
+func (n *Network) PauseLink(from, to SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.paused[linkKey{from, to}]; !ok {
+		n.paused[linkKey{from, to}] = make(chan struct{})
+	}
+}
+
+// ResumeLink releases a paused directed link; held packets deliver in order.
+func (n *Network) ResumeLink(from, to SiteID) {
+	n.mu.Lock()
+	gate, ok := n.paused[linkKey{from, to}]
+	if ok {
+		delete(n.paused, linkKey{from, to})
+	}
+	n.mu.Unlock()
+	if ok {
+		close(gate)
+	}
+}
+
+// ResumeAll releases every paused link.
+func (n *Network) ResumeAll() {
+	n.mu.Lock()
+	gates := make([]chan struct{}, 0, len(n.paused))
+	for _, g := range n.paused {
+		gates = append(gates, g)
+	}
+	n.paused = make(map[linkKey]chan struct{})
+	n.mu.Unlock()
+	for _, g := range gates {
+		close(g)
+	}
+}
+
+// waitLinkResumed blocks while the directed link is paused. Returns early
+// when the network shuts down.
+func (n *Network) waitLinkResumed(key linkKey) {
+	for {
+		n.mu.Lock()
+		gate := n.paused[key]
+		n.mu.Unlock()
+		if gate == nil {
+			return
+		}
+		select {
+		case <-gate:
+		case <-n.done:
+			return
+		}
+	}
+}
+
 // delayFor computes the one-way delay for a packet of the given size.
 func (n *Network) delayFor(from, to SiteID, size int) time.Duration {
 	if from == to {
@@ -305,6 +403,15 @@ func (n *Network) send(from SiteID, to SiteID, payload []byte) error {
 	}
 	n.busy[from] += n.cfg.SendCPU
 
+	// Injected partition: the wire is cut, the packet vanishes.
+	if n.blocked[linkKey{from, to}] {
+		n.stats.PacketsBlocked++
+		tr := n.tracer
+		n.mu.Unlock()
+		trace(tr, Event{Kind: EventDrop, From: from, To: to, Size: len(payload), When: time.Now()})
+		return nil
+	}
+
 	// Loss model: only inter-site packets are lost.
 	if interSite && n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
 		n.stats.PacketsDropped++
@@ -319,7 +426,7 @@ func (n *Network) send(from SiteID, to SiteID, payload []byte) error {
 	key := linkKey{from, to}
 	lk, ok := n.links[key]
 	if !ok {
-		lk = &link{ch: make(chan scheduled, 4096)}
+		lk = &link{key: key, ch: make(chan scheduled, 4096)}
 		n.links[key] = lk
 		go n.runLink(lk)
 	}
@@ -357,6 +464,7 @@ func (n *Network) runLink(lk *link) {
 					return
 				}
 			}
+			n.waitLinkResumed(lk.key)
 			n.deliver(s.pkt)
 		case <-n.done:
 			return
@@ -385,12 +493,23 @@ func (n *Network) deliver(pkt Packet) {
 
 	// Block rather than drop if the receiver is slow: the reliable
 	// transport above depends on eventual delivery of non-lost packets.
+	// Blocking must happen here, on the link goroutine, so a later packet
+	// can never overtake this one — delivering from a spawned goroutine
+	// would break the per-link FIFO guarantee the transport's sequence
+	// numbers rely on (and leak the goroutine if the endpoint detaches).
 	select {
 	case ep.recv <- pkt:
-	default:
-		// Queue full: deliver in a goroutine so the network never drops a
-		// packet the loss model decided to deliver.
-		go func() { ep.recv <- pkt }()
+	case <-ep.done:
+		// The endpoint detached while the delivery was blocked: roll the
+		// optimistic delivery accounting back so the packet is counted as
+		// discarded, not as both delivered and discarded.
+		n.mu.Lock()
+		n.stats.PacketsDelivered--
+		n.stats.BytesDelivered -= uint64(len(pkt.Payload))
+		n.busy[pkt.To] -= n.cfg.RecvCPU
+		n.stats.PacketsDiscarded++
+		n.mu.Unlock()
+	case <-n.done:
 	}
 }
 
@@ -399,6 +518,7 @@ type Endpoint struct {
 	id   SiteID
 	net  *Network
 	recv chan Packet
+	done chan struct{} // closed when the endpoint detaches
 
 	mu     sync.Mutex
 	closed bool
@@ -429,7 +549,10 @@ func (e *Endpoint) Close() { e.net.RemoveSite(e.id) }
 
 func (e *Endpoint) markClosed() {
 	e.mu.Lock()
-	e.closed = true
+	if !e.closed {
+		e.closed = true
+		close(e.done)
+	}
 	e.mu.Unlock()
 }
 

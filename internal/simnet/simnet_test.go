@@ -380,6 +380,145 @@ func TestNetworkCloseStopsTraffic(t *testing.T) {
 	}
 }
 
+func TestQueueOverflowPreservesFIFO(t *testing.T) {
+	// A receive queue far smaller than the burst forces most deliveries
+	// through the queue-full fallback; they must still arrive in send order
+	// (the transport's sequence numbers depend on per-link FIFO).
+	cfg := FastConfig()
+	cfg.QueueLen = 2
+	n := New(cfg)
+	defer n.Close()
+	a := n.AddSite(1)
+	b := n.AddSite(2)
+	const k = 200
+	for i := 0; i < k; i++ {
+		if err := a.Send(2, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < k; i++ {
+		p := recvWithTimeout(t, b, 5*time.Second)
+		if int(p.Payload[0]) != i {
+			t.Fatalf("FIFO violated under queue overflow: got %d at position %d", p.Payload[0], i)
+		}
+	}
+}
+
+func TestDetachUnblocksOverflowedDelivery(t *testing.T) {
+	// With the receive queue full, delivery blocks on the link goroutine;
+	// detaching the endpoint must release it (and discard the packets)
+	// rather than leaving the goroutine blocked forever.
+	cfg := FastConfig()
+	cfg.QueueLen = 1
+	n := New(cfg)
+	defer n.Close()
+	a := n.AddSite(1)
+	n.AddSite(2)
+	// One packet fills the queue, the second blocks the link goroutine, the
+	// third waits behind it.
+	for i := 0; i < 3; i++ {
+		if err := a.Send(2, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && n.Stats().PacketsDelivered < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	n.RemoveSite(2)
+	for time.Now().Before(deadline) {
+		if n.Stats().PacketsDiscarded >= 2 {
+			// Exactly one packet actually reached the receive queue; the
+			// blocked one must have had its optimistic delivery accounting
+			// rolled back, not be counted as both delivered and discarded.
+			if d := n.Stats().PacketsDelivered; d != 1 {
+				t.Errorf("PacketsDelivered = %d after detach, want 1", d)
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("blocked deliveries not released by detach: %+v", n.Stats())
+}
+
+func TestPartitionBlocksUntilHealed(t *testing.T) {
+	n := New(FastConfig())
+	defer n.Close()
+	a := n.AddSite(1)
+	b := n.AddSite(2)
+	n.Partition(1, 2)
+	if err := a.Send(2, []byte("cut")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(1, []byte("cut-back")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-b.Recv():
+		t.Fatalf("packet crossed a partition: %+v", p)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if st := n.Stats(); st.PacketsBlocked != 2 {
+		t.Errorf("PacketsBlocked = %d, want 2", st.PacketsBlocked)
+	}
+	n.Heal(1, 2)
+	if err := a.Send(2, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if p := recvWithTimeout(t, b, time.Second); string(p.Payload) != "ok" {
+		t.Errorf("post-heal payload = %q", p.Payload)
+	}
+	// HealAll clears every cut.
+	n.Partition(1, 2)
+	n.HealAll()
+	if err := a.Send(2, []byte("ok2")); err != nil {
+		t.Fatal(err)
+	}
+	if p := recvWithTimeout(t, b, time.Second); string(p.Payload) != "ok2" {
+		t.Errorf("post-HealAll payload = %q", p.Payload)
+	}
+}
+
+func TestPauseLinkHoldsPacketsInOrder(t *testing.T) {
+	n := New(FastConfig())
+	defer n.Close()
+	a := n.AddSite(1)
+	b := n.AddSite(2)
+	n.PauseLink(1, 2)
+	const k = 5
+	for i := 0; i < k; i++ {
+		if err := a.Send(2, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case p := <-b.Recv():
+		t.Fatalf("packet crossed a paused link: %+v", p)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Pause is directional: the reverse link still delivers.
+	if err := b.Send(1, []byte{99}); err != nil {
+		t.Fatal(err)
+	}
+	recvWithTimeout(t, a, time.Second)
+	n.ResumeLink(1, 2)
+	for i := 0; i < k; i++ {
+		p := recvWithTimeout(t, b, time.Second)
+		if int(p.Payload[0]) != i {
+			t.Fatalf("held packets resumed out of order: got %d at position %d", p.Payload[0], i)
+		}
+	}
+	// ResumeAll releases any remaining pause.
+	n.PauseLink(1, 2)
+	if err := a.Send(2, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	n.ResumeAll()
+	if p := recvWithTimeout(t, b, time.Second); p.Payload[0] != 7 {
+		t.Errorf("post-ResumeAll payload = %v", p.Payload)
+	}
+}
+
 func TestPaperConfigValues(t *testing.T) {
 	c := PaperConfig()
 	if c.InterSiteDelay != 16*time.Millisecond {

@@ -181,25 +181,55 @@ func (s *FileStore) WriteCheckpoint(data []byte) error {
 	if s.closed {
 		return ErrClosed
 	}
-	// Write the checkpoint to a temporary file and rename it into place so
-	// a crash mid-write never corrupts the previous checkpoint.
+	// Write the checkpoint to a temporary file, fsync it, and rename it
+	// into place, then fsync the directory: a crash at any point leaves
+	// either the old checkpoint or the new one durably on disk, never a
+	// torn or unreachable file.
 	tmp := filepath.Join(s.dir, checkpointName+".tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, filepath.Join(s.dir, checkpointName)); err != nil {
 		return err
 	}
-	// Truncate the log: records before the checkpoint are now redundant.
-	if err := s.logFile.Close(); err != nil {
+	if err := syncDir(s.dir); err != nil {
 		return err
 	}
-	f, err := os.OpenFile(filepath.Join(s.dir, logName), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	// Truncate the log: records before the checkpoint are now redundant.
+	// The truncated file is opened before the old handle is released, so a
+	// failure here leaves s.logFile valid and later Appends still work
+	// (replaying pre-checkpoint records on recovery is merely redundant,
+	// losing post-checkpoint records would not be).
+	nf, err := os.OpenFile(filepath.Join(s.dir, logName), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
-	s.logFile = f
+	old := s.logFile
+	s.logFile = nf
+	_ = old.Close()
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	return df.Sync()
 }
 
 // Recover implements Store.

@@ -203,6 +203,64 @@ func TestFileStoreToleratesTruncatedTail(t *testing.T) {
 	}
 }
 
+func TestCheckpointCrashRecovery(t *testing.T) {
+	// A process that dies without Close — including one that died after
+	// writing a checkpoint temp file but before the rename — must recover
+	// the last completed checkpoint plus every post-checkpoint record, and
+	// the reopened store must keep working across further checkpoint cycles.
+	dir := t.TempDir()
+	s, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Append(Record{Kind: 1, Data: []byte("pre")})
+	if err := s.WriteCheckpoint([]byte("cp1")); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Append(Record{Kind: 2, Data: []byte("post")})
+	// Crash: no Close; a later checkpoint attempt died mid-write, leaving a
+	// torn temp file that must not shadow the completed checkpoint.
+	if err := os.WriteFile(filepath.Join(dir, checkpointName+".tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, log, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cp) != "cp1" {
+		t.Errorf("recovered checkpoint = %q, want cp1", cp)
+	}
+	if len(log) != 1 || string(log[0].Data) != "post" {
+		t.Errorf("recovered log = %+v, want only the post-checkpoint record", log)
+	}
+
+	if err := s2.WriteCheckpoint([]byte("cp2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Append(Record{Kind: 3, Data: []byte("post2")}); err != nil {
+		t.Fatalf("append after checkpoint on recovered store: %v", err)
+	}
+	s2.Close()
+
+	s3, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	cp, log, err = s3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cp) != "cp2" || len(log) != 1 || string(log[0].Data) != "post2" {
+		t.Errorf("second recovery: cp=%q log=%+v", cp, log)
+	}
+}
+
 func TestMemStoreIsolation(t *testing.T) {
 	s := NewMem()
 	defer s.Close()

@@ -28,15 +28,29 @@
 //     needs no dedicated ack packets. A short ack timer (Config.AckDelay)
 //     sends a pure ack only when no reverse traffic shows up in time.
 //
+// Sequence numbers are qualified by a stream epoch so that a site restart
+// (new incarnation, sequence numbers starting over at 1) is not mistaken
+// for duplicate traffic, and so that stale acks from a previous incarnation
+// cannot retire records of the current one. An epoch's high 32 bits carry
+// the sending site's incarnation and the low 32 bits a per-peer reset
+// counter, making epochs monotonic across restarts and stream resets: a
+// frame with a higher epoch than previously seen starts a fresh stream (the
+// old receive state is discarded — whatever was in flight died with the
+// crashed incarnation, exactly the loss model of a site crash), and a frame
+// with a lower epoch is a straggler from a dead incarnation and is dropped.
+//
 // Wire format (all integers big endian). A simnet packet is one frame:
 //
 //	pure ack frame:
 //	    byte 0      kindAck
-//	    bytes 1-8   cumulative ack: highest sequence delivered in order
+//	    bytes 1-8   epoch of the data stream being acknowledged
+//	    bytes 9-16  cumulative ack: highest sequence delivered in order
 //
 //	data frame:
 //	    byte 0      kindFrame
-//	    bytes 1-8   piggybacked cumulative ack (0: nothing received yet)
+//	    bytes 1-8   sender's stream epoch for this link
+//	    bytes 9-16  piggybacked ack: epoch of the reverse data stream
+//	    bytes 17-24 piggybacked cumulative ack (0: nothing received yet)
 //	    repeated sub-packet record:
 //	        bytes 0-7    sequence number
 //	        byte  8      flags (bit0: last fragment of its message)
@@ -76,6 +90,12 @@ type Config struct {
 	// ack for free. Zero selects a default of 1ms; negative means ack
 	// immediately (the pre-piggybacking behaviour).
 	AckDelay time.Duration
+	// Epoch distinguishes restarts of the same site: it seeds the high bits
+	// of every outgoing stream's epoch, so peers recognise a restarted
+	// site's fresh sequence numbering instead of discarding it as
+	// duplicates. It must increase across restarts; the protocols daemon
+	// derives it from the site incarnation. Zero selects 1.
+	Epoch uint64
 	// FlushDelay is how long the per-peer flusher waits after a fragment is
 	// queued before building frames, to aggregate more traffic. Zero (the
 	// default) flushes immediately; coalescing still happens whenever sends
@@ -122,9 +142,9 @@ const (
 
 // Header sizes of the wire format above.
 const (
-	frameHeaderSize = 9
+	frameHeaderSize = 25
 	subHeaderSize   = 13
-	ackSize         = 9
+	ackSize         = 17
 )
 
 const flagLastFragment = 0x01
@@ -137,6 +157,7 @@ var (
 
 // peerSend tracks the sending half of a connection to one peer site.
 type peerSend struct {
+	epoch    uint64 // stream epoch stamped on outgoing frames
 	nextSeq  uint64
 	unacked  map[uint64][]byte // seq -> sub-packet record (header included)
 	queue    [][]byte          // records awaiting their first transmission
@@ -147,6 +168,7 @@ type peerSend struct {
 
 // pendingAck is the receive-side ack bookkeeping for one peer.
 type peerRecv struct {
+	epoch        uint64            // stream epoch of the incoming stream
 	nextExpected uint64            // next in-order sequence number
 	buffered     map[uint64]subRec // out-of-order records awaiting gap fill
 	assembling   []byte            // fragments of the current message
@@ -166,6 +188,10 @@ type Transport struct {
 	ep      *simnet.Endpoint
 	site    SiteID
 	handler Handler
+
+	// epochBase seeds every outgoing stream's epoch: incarnation in the
+	// high 32 bits, leaving the low 32 for per-peer stream resets.
+	epochBase uint64
 
 	mu     sync.Mutex
 	sends  map[SiteID]*peerSend
@@ -190,14 +216,18 @@ func New(ep *simnet.Endpoint, cfg Config, handler Handler) (*Transport, error) {
 	if cfg.AckDelay == 0 {
 		cfg.AckDelay = time.Millisecond
 	}
+	if cfg.Epoch == 0 {
+		cfg.Epoch = 1
+	}
 	t := &Transport{
-		cfg:     cfg,
-		ep:      ep,
-		site:    ep.Site(),
-		handler: handler,
-		sends:   make(map[SiteID]*peerSend),
-		recvs:   make(map[SiteID]*peerRecv),
-		done:    make(chan struct{}),
+		cfg:       cfg,
+		ep:        ep,
+		site:      ep.Site(),
+		handler:   handler,
+		epochBase: cfg.Epoch << 32,
+		sends:     make(map[SiteID]*peerSend),
+		recvs:     make(map[SiteID]*peerRecv),
+		done:      make(chan struct{}),
 	}
 	t.wg.Add(2)
 	go t.recvLoop()
@@ -254,7 +284,7 @@ func (t *Transport) Send(to SiteID, data []byte) error {
 	}
 	ps, ok := t.sends[to]
 	if !ok {
-		ps = &peerSend{nextSeq: 1, unacked: make(map[uint64][]byte), kick: make(chan struct{}, 1)}
+		ps = &peerSend{epoch: t.epochBase, nextSeq: 1, unacked: make(map[uint64][]byte), kick: make(chan struct{}, 1)}
 		t.sends[to] = ps
 	}
 	maxFrag := t.cfg.MaxPacket - frameHeaderSize - subHeaderSize
@@ -353,7 +383,10 @@ func (t *Transport) runFlusher(to SiteID, ps *peerSend) {
 func (t *Transport) buildFrameLocked(to SiteID, ps *peerSend, maxRecs int) []byte {
 	frame := make([]byte, 0, t.cfg.MaxPacket)
 	frame = append(frame, kindFrame)
-	frame = binary.BigEndian.AppendUint64(frame, t.takeAckLocked(to))
+	frame = binary.BigEndian.AppendUint64(frame, ps.epoch)
+	ackEpoch, ackCum := t.takeAckLocked(to)
+	frame = binary.BigEndian.AppendUint64(frame, ackEpoch)
+	frame = binary.BigEndian.AppendUint64(frame, ackCum)
 	n := 0
 	for len(ps.queue) > 0 {
 		rec := ps.queue[0]
@@ -376,19 +409,19 @@ func (t *Transport) buildFrameLocked(to SiteID, ps *peerSend, maxRecs int) []byt
 	return frame
 }
 
-// takeAckLocked returns the cumulative ack to piggyback on a frame to the
-// given peer and clears the pending dedicated-ack obligation. Caller holds
-// t.mu.
-func (t *Transport) takeAckLocked(to SiteID) uint64 {
+// takeAckLocked returns the epoch-qualified cumulative ack to piggyback on a
+// frame to the given peer and clears the pending dedicated-ack obligation.
+// Caller holds t.mu.
+func (t *Transport) takeAckLocked(to SiteID) (epoch, cum uint64) {
 	pr, ok := t.recvs[to]
 	if !ok {
-		return 0
+		return 0, 0
 	}
 	if pr.ackOwed {
 		pr.ackOwed = false
 		t.stats.AcksPiggybacked++
 	}
-	return pr.nextExpected - 1
+	return pr.epoch, pr.nextExpected - 1
 }
 
 // recvLoop dispatches packets arriving from the network.
@@ -445,9 +478,9 @@ func (t *Transport) retransmit() {
 			continue
 		}
 		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-		cum := uint64(0)
+		var ackEpoch, cum uint64
 		if pr, ok := t.recvs[to]; ok {
-			cum = pr.nextExpected - 1
+			ackEpoch, cum = pr.epoch, pr.nextExpected-1
 		}
 		r := resend{to: to}
 		var frame []byte
@@ -460,6 +493,8 @@ func (t *Transport) retransmit() {
 			if frame == nil {
 				frame = make([]byte, 0, t.cfg.MaxPacket)
 				frame = append(frame, kindFrame)
+				frame = binary.BigEndian.AppendUint64(frame, ps.epoch)
+				frame = binary.BigEndian.AppendUint64(frame, ackEpoch)
 				frame = binary.BigEndian.AppendUint64(frame, cum)
 			}
 			frame = append(frame, rec...)
@@ -488,7 +523,7 @@ func (t *Transport) handlePacket(pkt simnet.Packet) {
 		if len(pkt.Payload) < ackSize {
 			return
 		}
-		t.applyAck(pkt.From, binary.BigEndian.Uint64(pkt.Payload[1:9]))
+		t.applyAck(pkt.From, binary.BigEndian.Uint64(pkt.Payload[1:9]), binary.BigEndian.Uint64(pkt.Payload[9:17]))
 	case kindFrame:
 		if len(pkt.Payload) < frameHeaderSize {
 			return
@@ -497,12 +532,14 @@ func (t *Transport) handlePacket(pkt simnet.Packet) {
 	}
 }
 
-// applyAck retires unacked records covered by a cumulative ack.
-func (t *Transport) applyAck(from SiteID, cumSeq uint64) {
+// applyAck retires unacked records covered by a cumulative ack. The ack only
+// applies to the stream epoch it names: an ack minted for a previous
+// incarnation's numbering must not retire the current stream's records.
+func (t *Transport) applyAck(from SiteID, ackEpoch, cumSeq uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	ps, ok := t.sends[from]
-	if !ok {
+	if !ok || ps.epoch != ackEpoch {
 		return
 	}
 	for seq := range ps.unacked {
@@ -516,14 +553,52 @@ func (t *Transport) applyAck(from SiteID, cumSeq uint64) {
 // each sub-packet record through the sequencing machinery, delivers every
 // message completed by in-order records, and schedules the ack.
 func (t *Transport) handleFrame(from SiteID, raw []byte) {
-	t.applyAck(from, binary.BigEndian.Uint64(raw[1:9]))
+	senderEpoch := binary.BigEndian.Uint64(raw[1:9])
+	t.applyAck(from, binary.BigEndian.Uint64(raw[9:17]), binary.BigEndian.Uint64(raw[17:25]))
 	body := raw[frameHeaderSize:]
 
 	t.mu.Lock()
 	pr, ok := t.recvs[from]
+	fresh := false
 	if !ok {
-		pr = &peerRecv{nextExpected: 1, buffered: make(map[uint64]subRec)}
+		pr = &peerRecv{epoch: senderEpoch, nextExpected: 1, buffered: make(map[uint64]subRec)}
 		t.recvs[from] = pr
+		fresh = true
+	}
+	if fresh && len(body) >= subHeaderSize {
+		// First contact with a stream already in flight: this side has no
+		// receive state (it restarted, or lost the state), but the sender is
+		// mid-stream. Records below the frame's first sequence number were
+		// retired against our predecessor and will never be retransmitted —
+		// waiting for them would wedge the stream forever — so adopt the
+		// stream at its current position. Per-link FIFO guarantees the first
+		// frame seen carries the lowest outstanding sequence.
+		if first := binary.BigEndian.Uint64(body[0:8]); first > pr.nextExpected {
+			pr.nextExpected = first
+		}
+	}
+	if senderEpoch < pr.epoch {
+		// Straggler from a dead incarnation (or a pre-reset stream): its
+		// sequence numbers belong to a numbering that no longer exists.
+		t.stats.DuplicatesDropped++
+		t.mu.Unlock()
+		return
+	}
+	if senderEpoch > pr.epoch {
+		// The peer restarted (higher incarnation) or reset its stream to
+		// us: begin a fresh receive stream. Anything buffered belongs to the
+		// dead numbering and is discarded, as when a site crashes.
+		restarted := senderEpoch>>32 > pr.epoch>>32
+		pr.epoch = senderEpoch
+		pr.nextExpected = 1
+		pr.buffered = make(map[uint64]subRec)
+		pr.assembling = nil
+		if restarted {
+			// The restarted peer's receive state for our stream is gone
+			// too: renumber our stream from 1 under a bumped epoch so the
+			// fresh peer accepts it. Unacked records died with the crash.
+			t.resetSendLocked(from)
+		}
 	}
 	progress := false
 	for len(body) >= subHeaderSize {
@@ -574,12 +649,12 @@ func (t *Transport) handleFrame(from SiteID, raw []byte) {
 
 	// Ack policy: immediately when configured so, otherwise via a short
 	// timer that a reverse-direction data frame can beat (piggybacking).
-	var ackNow uint64
+	var ackEpoch, ackNow uint64
 	sendNow := false
 	if pr.ackOwed {
 		if t.cfg.AckDelay < 0 || t.cfg.DisableBatching {
 			pr.ackOwed = false
-			ackNow, sendNow = pr.nextExpected-1, true
+			ackEpoch, ackNow, sendNow = pr.epoch, pr.nextExpected-1, true
 		} else if !pr.ackTimerSet {
 			pr.ackTimerSet = true
 			time.AfterFunc(t.cfg.AckDelay, func() { t.ackTimerFire(from) })
@@ -589,13 +664,30 @@ func (t *Transport) handleFrame(from SiteID, raw []byte) {
 	t.mu.Unlock()
 
 	if sendNow {
-		t.sendAck(from, ackNow)
+		t.sendAck(from, ackEpoch, ackNow)
 	}
 	if handler != nil {
 		for _, m := range complete {
 			handler(from, m)
 		}
 	}
+}
+
+// resetSendLocked restarts the outgoing stream to a peer after the peer is
+// known to have lost its receive state (site restart): queued and unacked
+// records are dropped and the numbering begins again at 1 under a bumped
+// epoch, so stale frames of the old numbering can never be confused with the
+// new stream. Caller holds t.mu.
+func (t *Transport) resetSendLocked(to SiteID) {
+	ps, ok := t.sends[to]
+	if !ok {
+		return
+	}
+	ps.epoch++
+	ps.nextSeq = 1
+	ps.sentUpTo = 0
+	ps.unacked = make(map[uint64][]byte)
+	ps.queue = nil
 }
 
 // ackTimerFire sends the delayed dedicated ack unless a data frame has
@@ -613,18 +705,19 @@ func (t *Transport) ackTimerFire(from SiteID) {
 	pr.ackTimerSet = false
 	owed := pr.ackOwed
 	pr.ackOwed = false
-	cum := pr.nextExpected - 1
+	epoch, cum := pr.epoch, pr.nextExpected-1
 	t.mu.Unlock()
 	if owed {
-		t.sendAck(from, cum)
+		t.sendAck(from, epoch, cum)
 	}
 }
 
-// sendAck transmits a dedicated cumulative-ack frame.
-func (t *Transport) sendAck(to SiteID, cumSeq uint64) {
+// sendAck transmits a dedicated cumulative-ack frame for one stream epoch.
+func (t *Transport) sendAck(to SiteID, epoch, cumSeq uint64) {
 	var pkt [ackSize]byte
 	pkt[0] = kindAck
-	binary.BigEndian.PutUint64(pkt[1:9], cumSeq)
+	binary.BigEndian.PutUint64(pkt[1:9], epoch)
+	binary.BigEndian.PutUint64(pkt[9:17], cumSeq)
 	t.mu.Lock()
 	t.stats.AcksSent++
 	closed := t.closed
