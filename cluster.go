@@ -38,6 +38,12 @@ type ClusterConfig struct {
 	// DisableHeartbeats silences the failure detector's periodic traffic;
 	// benchmarks use it to keep the measured links quiet.
 	DisableHeartbeats bool
+	// Merge selects the partition-handling policy at every site. The zero
+	// value MergeAuto enforces the primary-partition rule (only the
+	// partition holding at least half of a group's last agreed view may
+	// install views; a minority wedges read-only) and merges minority sites
+	// back automatically when the partition heals.
+	Merge MergePolicy
 }
 
 // Cluster is a simulated distributed system: a LAN plus one ISIS site
@@ -110,6 +116,7 @@ func (c *Cluster) AddSite(id SiteID) (*Site, error) {
 		Detector:          c.cfg.Detector,
 		CallTimeout:       c.cfg.CallTimeout,
 		DisableHeartbeats: c.cfg.DisableHeartbeats,
+		Merge:             c.cfg.Merge,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("isis: add site %d: %w", id, err)
@@ -213,6 +220,24 @@ func (s *Site) Cluster() *Cluster { return s.cluster }
 // WatchSites registers a callback for failure-detector events observed at
 // this site (used by the recovery manager and the news service).
 func (s *Site) WatchSites(cb func(SiteEvent)) { s.daemon.WatchSites(cb) }
+
+// WatchPrimary registers a callback for primary-status transitions of the
+// groups hosted at this site: (gid, false) when a partition strands this
+// site's copy of a group in a read-only minority, (gid, true) when the copy
+// resumes or merges back into the primary partition.
+func (s *Site) WatchPrimary(cb func(gid Address, primary bool)) { s.daemon.WatchPrimary(cb) }
+
+// GroupPrimary reports whether this site's copy of the group is in the
+// primary partition (always true for groups the site does not host).
+func (s *Site) GroupPrimary(gid Address) bool { return s.daemon.GroupPrimary(gid) }
+
+// MergeGroup merges this site's non-primary copy of a group back into the
+// primary partition: the stale local state is discarded and every local
+// member rejoins with a state transfer. Under the default MergeAuto policy
+// the toolkit does this automatically when the partition heals; MergeManual
+// deployments call it when the application decides the time is right. A
+// no-op if the group is not in non-primary mode at this site.
+func (s *Site) MergeGroup(gid Address) error { return s.daemon.MergeGroup(gid) }
 
 // Spawn creates a new client process at this site.
 func (s *Site) Spawn() (*Process, error) {

@@ -1,0 +1,166 @@
+// Command doccheck is the repository's documentation lint: it fails the
+// build when a package lacks a package comment, when an internal package
+// keeps its package comment outside doc.go, or when an exported identifier
+// has no doc comment. CI runs it over the whole module so the public surface
+// (and the internal layer boundaries) stay documented as the system grows.
+//
+// Usage:
+//
+//	go run ./cmd/doccheck [dir ...]
+//
+// With no arguments it checks every Go package under the current directory,
+// skipping testdata and hidden directories. Test files are ignored.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var dirs []string
+	seen := map[string]bool{}
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name == "testdata" || (len(name) > 1 && strings.HasPrefix(name, ".")) {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				dir := filepath.Dir(path)
+				if !seen[dir] {
+					seen[dir] = true
+					dirs = append(dirs, dir)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	sort.Strings(dirs)
+
+	failed := false
+	for _, dir := range dirs {
+		for _, problem := range checkDir(dir) {
+			failed = true
+			fmt.Println(problem)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory and returns its documentation
+// problems, one line per finding.
+func checkDir(dir string) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: parse: %v", dir, err)}
+	}
+
+	var problems []string
+	for _, pkg := range pkgs {
+		problems = append(problems, checkPackage(fset, dir, pkg)...)
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+func checkPackage(fset *token.FileSet, dir string, pkg *ast.Package) []string {
+	var problems []string
+
+	// The package comment: required everywhere; for internal packages it
+	// must live in doc.go so the layer documentation has a well-known home.
+	commentFile := ""
+	for path, f := range pkg.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			commentFile = filepath.Base(path)
+			break
+		}
+	}
+	switch {
+	case commentFile == "":
+		problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+	case strings.Contains(filepath.ToSlash(dir), "internal/") && commentFile != "doc.go":
+		problems = append(problems, fmt.Sprintf("%s: package comment of internal package %s must live in doc.go (found in %s)", dir, pkg.Name, commentFile))
+	}
+
+	for path, f := range pkg.Files {
+		rel := filepath.Join(dir, filepath.Base(path))
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s has no doc comment",
+						rel, fset.Position(d.Pos()).Line, declKind(d), d.Name.Name))
+				}
+			case *ast.GenDecl:
+				problems = append(problems, checkGenDecl(fset, rel, d)...)
+			}
+		}
+	}
+	return problems
+}
+
+// declKind names a function declaration for the report: "function" or
+// "method (T)".
+func declKind(d *ast.FuncDecl) string {
+	if d.Recv == nil {
+		return "function"
+	}
+	return "method"
+}
+
+// checkGenDecl reports exported consts, vars, and types that carry no doc
+// comment — neither on the declaration group nor on the individual spec.
+func checkGenDecl(fset *token.FileSet, rel string, d *ast.GenDecl) []string {
+	if d.Tok != token.CONST && d.Tok != token.VAR && d.Tok != token.TYPE {
+		return nil
+	}
+	groupDoc := d.Doc != nil
+	var problems []string
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+				problems = append(problems, fmt.Sprintf("%s:%d: exported type %s has no doc comment",
+					rel, fset.Position(s.Pos()).Line, s.Name.Name))
+			}
+		case *ast.ValueSpec:
+			if groupDoc || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s has no doc comment",
+						rel, fset.Position(s.Pos()).Line, strings.ToLower(d.Tok.String()), name.Name))
+				}
+			}
+		}
+	}
+	return problems
+}

@@ -1,14 +1,3 @@
-// Package addr implements the compact ISIS addressing scheme described in
-// Section 4.1 of the paper ("Addresses"). Every process and every process
-// group is named by a fixed-size, 8-byte identifier that encodes the site at
-// which the entity was created, the site's incarnation number, a locally
-// unique identifier, the kind of entity (process or group), and an entry
-// point number. Group addresses can be used in any context where a process
-// address is acceptable.
-//
-// Addresses are values; they are comparable with == and can be used as map
-// keys. The zero Address is "nil" (no destination) and reports IsNil() ==
-// true.
 package addr
 
 import (

@@ -1,0 +1,9 @@
+// Package bench contains the experiment harnesses that regenerate the
+// paper's evaluation artifacts: Table 1 (multicast overhead of the toolkit
+// routines), Figure 2 (throughput of asynchronous CBCAST and latency of the
+// three primitives versus message size), Figure 3 (breakdown of ABCAST
+// execution time), the Section 5 end-to-end twenty-questions throughput, and
+// the Section 7 CPU-utilisation observation. The same harnesses back both
+// the testing.B benchmarks in the repository root and the cmd/isis-bench
+// binary.
+package bench

@@ -1,0 +1,8 @@
+// Package core contains the virtual-synchrony kernel of the reproduction:
+// group views (membership lists ranked by age), message identifiers, and the
+// pure ordering state machines used by the CBCAST (causal) and ABCAST
+// (total-order) multicast primitives of Section 3.1 of the paper. The
+// distributed wiring of these state machines — who sends what packet to whom
+// — lives in internal/protos; this package is deliberately free of I/O so
+// that the ordering logic can be tested exhaustively in isolation.
+package core

@@ -1,18 +1,3 @@
-// Package msg implements the ISIS message subsystem described in Section 4.1
-// of the paper. A message is represented as a symbol table containing
-// multiple fields, each having a name, a type, and variable-length data.
-// Fields can be inserted and deleted at will, special system fields carry
-// information such as the address of the sender (which cannot be forged by
-// clients, since only the protocols process sets it), the session id used to
-// match a reply with a pending call, and so on. A field can even contain
-// another message.
-//
-// The symbol table is stored as a slice of fields kept sorted by name rather
-// than a map: iteration in marshalling order is then allocation-free, field
-// storage can be reused when a message is overwritten in place, and the wire
-// encoding of an unchanged message can be computed once and cached (see
-// CachedMarshal in codec.go). Lookups use binary search; daemon packets have
-// at most a dozen fields, so this is also faster than hashing in practice.
 package msg
 
 import (

@@ -25,6 +25,26 @@ type DeliverFunc func(entry addr.EntryID, m *msg.Message)
 // deliveries, which is what makes the ranking trick of Section 3.2 safe.
 type ViewFunc func(view core.View)
 
+// MergePolicy selects how the daemon treats network partitions: whether the
+// primary-partition majority rule gates view changes, and whether a minority
+// partition merges back automatically once the partition heals.
+type MergePolicy uint8
+
+const (
+	// MergeAuto (the default) enforces the primary-partition rule and
+	// automatically merges a minority partition back into the primary as
+	// soon as the failure detector observes the partition healing.
+	MergeAuto MergePolicy = iota
+	// MergeManual enforces the primary-partition rule but leaves the merge
+	// to the application, which triggers it with Daemon.MergeGroup.
+	MergeManual
+	// MergeNone disables the primary-partition rule entirely: any partition
+	// may install views (the paper's original crash-only fault model, in
+	// which a partitioned minority forms a split-brain view and recovers by
+	// restarting).
+	MergeNone
+)
+
 // Config parameterizes a Daemon.
 type Config struct {
 	// Site is this daemon's site identifier.
@@ -45,6 +65,10 @@ type Config struct {
 	// DisableHeartbeats turns off the failure detector's periodic traffic;
 	// used by benchmarks that want quiet links.
 	DisableHeartbeats bool
+	// Merge selects the partition-handling policy; the zero value MergeAuto
+	// enforces the primary-partition rule and merges minorities back
+	// automatically when the partition heals.
+	Merge MergePolicy
 }
 
 // Counters tallies protocol activity; the Table 1 harness reads them before
@@ -69,6 +93,7 @@ var (
 	ErrEmptyDest     = errors.New("protos: no destinations")
 	ErrBadProtocol   = errors.New("protos: unsupported protocol for destination set")
 	ErrGroupVanished = errors.New("protos: group has no members")
+	ErrNonPrimary    = errors.New("protos: group is in a non-primary partition (read-only)")
 )
 
 // localProc is one client process registered at this site.
@@ -96,10 +121,26 @@ type memberState struct {
 	causal *core.CausalQueue
 	total  *core.TotalQueue
 
+	// joinedView is the view in which this member entered the group at this
+	// site. A GBCAST flush re-disseminates messages some member sites
+	// missed, but a member that joined after a message was sent must not
+	// receive it — its state-transfer cut already covers it (this matters
+	// after a partition merge, when a freshly rejoined member's empty
+	// recent-delivery set would otherwise read as "missed everything").
+	joinedView core.ViewID
+
 	awaitingState bool     // a joiner that has not yet received the group state
 	held          []func() // deliveries deferred until the state arrives
 	stateRecv     func(block []byte, last bool)
 	stateProv     func() [][]byte
+
+	// xferID identifies the state-transfer attempt the blocks in xferBuf
+	// belong to (the view id the provider shipped under). Blocks buffer here
+	// and reach the receiver only once the final block arrives, so a
+	// transfer restarted from a new provider after the old one failed simply
+	// discards the partial buffer instead of delivering duplicate blocks.
+	xferID  uint64
+	xferBuf [][]byte
 
 	// redelivered records messages this member received through a GBCAST
 	// flush re-dissemination; when the original copy later drains from the
@@ -123,9 +164,22 @@ type groupState struct {
 	members  map[addr.Address]*memberState // local members only
 
 	wedged   bool         // a GBCAST flush is in progress
+	wedgeSeq uint64       // increments per wedge; lets the watchdog spot stale wedges
 	heldPkts []heldPacket // data packets held while wedged
 	recent   map[core.MsgID]*msg.Message
 	order    []core.MsgID // insertion order of recent, for bounding
+
+	// nonPrimary marks a copy of the group stranded in a minority partition:
+	// the acting coordinator could not reach a majority of the last agreed
+	// view, so no new view may be installed and local writes are refused
+	// until the partition heals and the merge protocol rejoins the primary.
+	nonPrimary bool
+
+	// pendingXfer is the set of joiners whose requested state transfer has
+	// not been confirmed complete (by their site's ptStateAck). Every member
+	// site tracks it so that whichever site finds itself hosting the new
+	// oldest member after a failure can re-trigger the transfer.
+	pendingXfer map[addr.Address]bool
 
 	// Coordinator-side state (only used while this site hosts the acting
 	// coordinator).
@@ -133,21 +187,21 @@ type groupState struct {
 	gbBusy  bool
 	gbQueue []*gbWork
 
-	// gbDone records the stable request ids of GBCASTs whose commit this
-	// site has applied. Every member site keeps it, not just the
-	// coordinator, so that after a coordinator failure the successor can
-	// recognise a re-submitted request that already committed and answer it
-	// instead of running the protocol a second time.
-	gbDone      map[int64]bool
-	gbDoneOrder []int64 // insertion order, for bounding
+	// gbSeen records, per requester (the site|incarnation high word of the
+	// stable request id), the highest request counter whose commit this site
+	// has applied. Every member site keeps it, not just the coordinator, so
+	// that after a coordinator failure the successor can recognise a
+	// re-submitted request that already committed and answer it instead of
+	// running the protocol a second time. A high-water mark per requester —
+	// rather than a bounded history of individual ids — means a slow
+	// retrier can never slip past the record no matter how many GBCASTs
+	// intervene; soundness relies on each daemon serializing its request
+	// submissions per group (coordinatorCall), which makes a requester's
+	// commit order match its id order.
+	gbSeen map[int64]int64
 }
 
 const recentLimit = 256
-
-// gbDoneLimit bounds the per-group memory of completed request ids. A
-// requester retries within a few call timeouts, so only recent history is
-// ever consulted.
-const gbDoneLimit = 256
 
 // abSendState is the initiator-side state of one ABCAST (phase 1 responses
 // still outstanding).
@@ -194,8 +248,13 @@ type Daemon struct {
 	pendingAb   map[core.MsgID]*abSendState
 	pendingJoin map[joinKey]pendingJoin
 	siteWatch   []func(fdetect.Event)
+	primWatch   []func(addr.Address, bool) // primary-status transitions per group
+	merging     map[addr.Address]bool      // groups with a merge in progress
+	reqSerial   map[addr.Address]*sync.Mutex
 	counters    Counters
 	closed      bool
+
+	unwatchLinks func() // unregisters the heal-probe link watcher on Close
 
 	wg sync.WaitGroup
 }
@@ -250,6 +309,8 @@ func New(cfg Config) (*Daemon, error) {
 		callSite:    make(map[int64]addr.SiteID),
 		pendingAb:   make(map[core.MsgID]*abSendState),
 		pendingJoin: make(map[joinKey]pendingJoin),
+		merging:     make(map[addr.Address]bool),
+		reqSerial:   make(map[addr.Address]*sync.Mutex),
 	}
 	d.ep = cfg.Network.AddSite(cfg.Site)
 	tr, err := transport.New(d.ep, trCfg, d.handleTransport)
@@ -262,6 +323,29 @@ func New(cfg Config) (*Daemon, error) {
 	if !cfg.DisableHeartbeats {
 		d.det.Start()
 	}
+	// A healed link is probed immediately with a heartbeat, so the peer's
+	// failure detector observes the recovery — and triggers any pending
+	// partition merge — without waiting for the next heartbeat round.
+	d.unwatchLinks = cfg.Network.WatchLinks(func(ev simnet.LinkEvent) {
+		if !ev.Up {
+			return
+		}
+		var peer addr.SiteID
+		switch d.site {
+		case ev.A:
+			peer = ev.B
+		case ev.B:
+			peer = ev.A
+		default:
+			return
+		}
+		d.mu.Lock()
+		closed := d.closed
+		d.mu.Unlock()
+		if !closed {
+			d.sendHeartbeat(peer)
+		}
+	})
 	return d, nil
 }
 
@@ -291,6 +375,9 @@ func (d *Daemon) Close() {
 	}
 	d.mu.Unlock()
 
+	if d.unwatchLinks != nil {
+		d.unwatchLinks()
+	}
 	if !d.cfg.DisableHeartbeats {
 		d.det.Stop()
 	}
@@ -562,12 +649,27 @@ func (d *Daemon) call(to addr.SiteID, pt byte, req *msg.Message) (*msg.Message, 
 	select {
 	case resp := <-ch:
 		if resp.Has(fErr) {
-			return nil, fmt.Errorf("protos: remote error: %s", resp.GetString(fErr, "unknown"))
+			return nil, wireError("protos: remote error: %s", resp.GetString(fErr, "unknown"))
 		}
 		return resp, nil
 	case <-time.After(d.cfg.CallTimeout):
 		return nil, ErrTimeout
 	}
+}
+
+// wireError reconstructs an error that travelled as text in an fErr field,
+// restoring the package's sentinel errors so callers can match them with
+// errors.Is across the request/response wire (a Join refused by a minority
+// coordinator must surface as ErrNonPrimary, not as opaque text).
+func wireError(format, text string) error {
+	for _, sentinel := range []error{
+		ErrNonPrimary, ErrUnknownGroup, ErrNotMember, ErrUnknownProc, ErrDeadProcess, ErrClosed,
+	} {
+		if text == sentinel.Error() {
+			return sentinel
+		}
+	}
+	return fmt.Errorf(format, text)
 }
 
 // replyError sends a ptError response for a request.
@@ -614,6 +716,8 @@ func (d *Daemon) handleTransport(from addr.SiteID, raw []byte) {
 		d.handleLookup(from, p)
 	case ptStateBlock:
 		d.handleStateBlock(from, p)
+	case ptStateAck:
+		d.handleStateAck(from, p)
 	}
 }
 
@@ -633,11 +737,18 @@ func (d *Daemon) onDetectorEvent(ev fdetect.Event) {
 	for _, w := range watchers {
 		w(ev)
 	}
-	if ev.Kind == fdetect.SiteFailed {
+	switch ev.Kind {
+	case fdetect.SiteFailed:
 		// Abort in-flight calls to the dead site first so their callers
 		// re-route to the successor while the failure is handled.
 		d.failCallsTo(ev.Site)
 		d.handleSiteFailure(ev.Site)
+	case fdetect.SiteRecovered:
+		// A healed partition: any group copy stranded in a non-primary
+		// partition can now try to find the primary and merge back.
+		if d.cfg.Merge == MergeAuto {
+			d.mergeNonPrimaryGroups()
+		}
 	}
 }
 

@@ -1,0 +1,7 @@
+// Package protos implements the per-site "protocols process" shown in
+// Figure 1 of the paper. One Daemon runs at every site: it performs all
+// inter-site communication, maintains process-group membership views,
+// implements the CBCAST / ABCAST / GBCAST multicast primitives on top of the
+// ordering state machines in internal/core, detects failures, and delivers
+// messages to the client processes registered at its site.
+package protos

@@ -1,7 +1,6 @@
 package protos
 
 import (
-	"fmt"
 	"sync"
 	"time"
 
@@ -71,7 +70,7 @@ func (d *Daemon) localGbRequest(gid addr.Address, req *msg.Message) (*msg.Messag
 	select {
 	case resp := <-w.done:
 		if resp != nil && resp.Has(fErr) {
-			return nil, fmt.Errorf("protos: %s", resp.GetString(fErr, "gbcast failed"))
+			return nil, wireError("protos: %s", resp.GetString(fErr, "gbcast failed"))
 		}
 		return resp, nil
 	case <-time.After(2 * d.cfg.CallTimeout):
@@ -127,7 +126,15 @@ func (d *Daemon) executeGb(w *gbWork) {
 		d.gbReply(w, nil, ErrUnknownGroup.Error())
 		return
 	}
-	if w.reqID != 0 && gs.gbDone[w.reqID] {
+	if gs.nonPrimary {
+		// This copy of the group is stranded in a minority partition: no
+		// view may be installed and no GBCAST committed until the merge
+		// protocol rejoins the primary.
+		d.mu.Unlock()
+		d.gbReply(w, nil, ErrNonPrimary.Error())
+		return
+	}
+	if w.reqID != 0 && gbCommittedLocked(gs, w.reqID) {
 		// The request already committed — typically under a previous
 		// coordinator that died after sending its commit but before
 		// answering the requester. Answer with the current view instead of
@@ -188,9 +195,16 @@ func (d *Daemon) executeGb(w *gbWork) {
 	prepare.PutAddress(fGroup, w.gid)
 	prepare.PutInt(fGbID, int64(seq))
 	prepare.PutInt(fViewID, int64(oldView.ID))
+	if w.kind == gbFail && len(w.procs) > 0 {
+		// Failure removals name their targets in the prepare, so each
+		// member site can corroborate (or dispute) the claimed deaths of the
+		// processes it hosts.
+		prepare.PutAddressList(fProcs, w.procs)
+	}
 
 	reports := make(map[addr.SiteID]pendingReport)
 	views := make(map[addr.SiteID]core.View)
+	deadAck := make(map[addr.SiteID]addr.List)
 	var repMu sync.Mutex
 	var wg sync.WaitGroup
 	for _, site := range oldView.SitesOf() {
@@ -243,10 +257,45 @@ func (d *Daemon) executeGb(w *gbWork) {
 			if v := decodeView(resp.GetMessage(fView)); v.ID > 0 {
 				views[site] = v
 			}
+			deadAck[site] = resp.GetAddressList(fDead)
 			repMu.Unlock()
 		}(site)
 	}
 	wg.Wait()
+
+	// Corroborate failure removals: a target whose hosting site answered the
+	// prepare and vouches for the process must not be removed. A failure
+	// claim is honoured only when the hosting site is unreachable, confirms
+	// the death itself (a locally detected process crash, or a ghost of a
+	// previous incarnation), or the coordinator has its own evidence. This
+	// is what stops a stale takeover request — e.g. one a wedged minority
+	// sent toward a presumed-dead coordinator, queued in the reliable
+	// transport and retransmitted across the partition heal — from removing
+	// perfectly healthy members.
+	if w.kind == gbFail {
+		kept := make([]addr.Address, 0, len(w.procs))
+		d.mu.Lock()
+		for _, pr := range w.procs {
+			if _, reached := reports[pr.Site]; !reached {
+				kept = append(kept, pr)
+				continue
+			}
+			confirmed := d.failedProcs[pr.Base()]
+			if pr.Site == d.site {
+				lp, ok := d.procs[pr.Base()]
+				if !ok || !lp.alive {
+					confirmed = true
+				}
+			} else if deadAck[pr.Site].Contains(pr) {
+				confirmed = true
+			}
+			if confirmed {
+				kept = append(kept, pr)
+			}
+		}
+		d.mu.Unlock()
+		w.procs = kept
+	}
 
 	// A coordinator taking over from one that died mid-commit may find
 	// members already at a later view than its own: base the change on the
@@ -257,6 +306,30 @@ func (d *Daemon) executeGb(w *gbWork) {
 	for _, v := range views {
 		if v.Group == base.Group && v.ID > base.ID {
 			base = v.Clone()
+		}
+	}
+
+	// Primary-partition rule: only the partition holding at least half of
+	// the last agreed view's members may commit. A coordinator that reached
+	// fewer wedges its side of the group into non-primary mode instead of
+	// minting a split-brain view; the partition that retains the majority
+	// keeps committing, and the minority rejoins through the merge protocol
+	// once the partition heals. Exactly half passes, so a group that loses
+	// half its members to a genuine crash (the paper's 2-member fail-over
+	// scenarios) stays available; the cost is that an exactly-even split is
+	// resolved in favour of availability on both sides — deploy odd
+	// replication degrees where strict primary-partition semantics matter.
+	if d.cfg.Merge != MergeNone {
+		votes := 0
+		for _, m := range base.Members {
+			if _, reached := reports[m.Site]; reached {
+				votes++
+			}
+		}
+		if votes*2 < len(base.Members) {
+			d.enterNonPrimary(w.gid, reports)
+			d.gbReply(w, nil, ErrNonPrimary.Error())
+			return
 		}
 	}
 
@@ -428,7 +501,10 @@ func reconcile(reports map[addr.SiteID]pendingReport, removingFailed bool, remov
 
 // prepareLocal wedges the group at this site and returns its pending-state
 // report (the coordinator's own contribution to phase 1) together with the
-// site's current view of the group.
+// site's current view of the group. Every wedge arms a watchdog: a wedge
+// whose commit never arrives — a prepare retransmitted by the reliable
+// transport long after its coordinator's round ended, e.g. across a
+// partition heal — would otherwise freeze the group forever.
 func (d *Daemon) prepareLocal(gid addr.Address) (pendingReport, core.View) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -437,7 +513,31 @@ func (d *Daemon) prepareLocal(gid addr.Address) (pendingReport, core.View) {
 		return pendingReport{}, core.View{}
 	}
 	gs.wedged = true
+	gs.wedgeSeq++
+	seq := gs.wedgeSeq
+	// 4x the call timeout comfortably exceeds the longest legitimate flush
+	// (concurrent prepares retry up to 3 calls before the commit follows).
+	time.AfterFunc(4*d.cfg.CallTimeout, func() { d.unwedgeStale(gid, seq) })
 	return d.buildReportLocked(gs), gs.view.Clone()
+}
+
+// unwedgeStale releases a wedge whose flush never completed (the watchdog
+// armed by prepareLocal). A commit or a newer wedge advances the state, so
+// the stale timer is a no-op in every healthy flow.
+func (d *Daemon) unwedgeStale(gid addr.Address, seq uint64) {
+	d.mu.Lock()
+	gs, ok := d.groups[gid]
+	if !ok || !gs.wedged || gs.wedgeSeq != seq {
+		d.mu.Unlock()
+		return
+	}
+	gs.wedged = false
+	held := gs.heldPkts
+	gs.heldPkts = nil
+	d.mu.Unlock()
+	for _, h := range held {
+		d.dispatchHeld(h)
+	}
 }
 
 // buildReportLocked summarises the pending and recently delivered messages
@@ -489,6 +589,26 @@ func (d *Daemon) handleGbPrepare(from addr.SiteID, p *msg.Message) {
 	if view.ID > 0 {
 		resp.PutMessage(fView, encodeView(view))
 	}
+	// Corroborate (or dispute) the claimed deaths of removal targets hosted
+	// at this site: the coordinator drops targets whose hosting site vouches
+	// for them.
+	if targets := p.GetAddressList(fProcs); len(targets) > 0 {
+		var deadHere addr.List
+		d.mu.Lock()
+		for _, pr := range targets {
+			if pr.Site != d.site {
+				continue
+			}
+			lp, ok := d.procs[pr.Base()]
+			if !ok || !lp.alive || d.failedProcs[pr.Base()] {
+				deadHere = append(deadHere, pr.Base())
+			}
+		}
+		d.mu.Unlock()
+		if len(deadHere) > 0 {
+			resp.PutAddressList(fDead, deadHere)
+		}
+	}
 	_ = d.sendPacket(from, ptGbAck, resp)
 }
 
@@ -511,6 +631,59 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 
 	d.mu.Lock()
 	gs, hosted := d.groups[gid.Base()]
+	if kind == gbNonPrimary {
+		// The minority coordinator's notice: this partition failed to reach
+		// a majority. Wedge into read-only mode (unwedging the flush so held
+		// reads drain) and wait for the merge protocol.
+		if hosted && !gs.nonPrimary {
+			gs.nonPrimary = true
+			gs.wedged = false
+			held := gs.heldPkts
+			gs.heldPkts = nil
+			d.mu.Unlock()
+			for _, h := range held {
+				d.dispatchHeld(h)
+			}
+			d.notifyPrimary(gid.Base(), false)
+			return
+		}
+		d.mu.Unlock()
+		return
+	}
+	if kind == gbResume {
+		// Total-wedge recovery: no partition held a majority, nothing can
+		// have committed past the last agreed view anywhere, and the resume
+		// initiator verified the reachable copies still agree on it — so
+		// this copy simply stops being non-primary (and drops any stale
+		// wedge a straggling prepare may have left behind).
+		if hosted && gs.nonPrimary && newView.ID == gs.view.ID {
+			gs.nonPrimary = false
+			gs.wedged = false
+			held := gs.heldPkts
+			gs.heldPkts = nil
+			d.mu.Unlock()
+			for _, h := range held {
+				d.dispatchHeld(h)
+			}
+			d.notifyPrimary(gid.Base(), true)
+			return
+		}
+		d.mu.Unlock()
+		return
+	}
+	if hosted && gs.nonPrimary {
+		// A commit reaching a non-primary copy comes from the primary
+		// partition (typically a pre-partition packet retransmitted across
+		// the heal). It must not be applied piecemeal — this copy's state is
+		// speculative and will be discarded wholesale — but its arrival
+		// proves the primary is reachable again, so it triggers the merge.
+		auto := d.cfg.Merge == MergeAuto
+		d.mu.Unlock()
+		if auto {
+			go d.mergeGroup(gid.Base())
+		}
+		return
+	}
 	hostsNewMember := false
 	for _, m := range newView.Members {
 		if m.Site == d.site {
@@ -519,11 +692,19 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 			}
 		}
 	}
+	// Members listed at this site that this daemon does not know are ghosts
+	// of a previous incarnation: they joined (or merged back) moments before
+	// the site restarted, and nobody else can tell they are gone — process
+	// failures are detected locally, and the restarted site answers
+	// heartbeats, so no timeout will ever fire for them. Request their
+	// removal.
+	ghosts := d.ghostMembersLocked(newView)
 	if !hosted {
 		if !hostsNewMember {
 			// We host nobody in this group: just refresh the cached view.
 			d.mu.Unlock()
 			d.cacheRemoteView(newView)
+			d.removeGhosts(gid.Base(), ghosts)
 			return
 		}
 		// The view itself is installed by applyViewChangeLocked below; the
@@ -544,20 +725,25 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 	// request this site already applied (re-sent by a coordinator that died
 	// mid-fan-out, or re-run by its successor) must not deliver its user
 	// payload a second time. View changes are deduplicated by view id.
-	dupReq := reqID != 0 && gs.gbDone[reqID]
+	dupReq := reqID != 0 && gbCommittedLocked(gs, reqID)
 	if reqID != 0 {
 		recordGbDoneLocked(gs, reqID)
 	}
 
 	// Step 1: re-disseminated messages are delivered before the GBCAST
 	// point, to every member of the *old* local view, skipping anything
-	// already delivered here.
+	// already delivered here and any member that joined after the message
+	// was sent (its state-transfer cut covers it).
 	for _, rc := range rec.Recent {
 		if rc.Packet == nil || gs.recent[rc.ID] != nil {
 			continue
 		}
 		d.recordRecentLocked(gs, rc.ID, rc.Packet)
+		pv := core.ViewID(rc.Packet.GetInt(fViewID, 0))
 		for _, ms := range gs.members {
+			if pv != 0 && pv < ms.joinedView {
+				continue
+			}
 			if ms.redelivered == nil {
 				ms.redelivered = make(map[core.MsgID]bool)
 			}
@@ -579,6 +765,9 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 						continue
 					}
 					if pkt, ok := del.Payload.(*msg.Message); ok && pkt != nil {
+						if pv := core.ViewID(pkt.GetInt(fViewID, 0)); pv != 0 && pv < ms.joinedView {
+							continue // sent before this member joined
+						}
 						d.recordRecentLocked(gs, del.ID, pkt)
 						d.deliverDataLocked(ms, pkt)
 					}
@@ -590,6 +779,7 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 	}
 
 	// Step 2: apply the membership change or deliver the user payload.
+	var wrong []wrongRemoval
 	switch kind {
 	case gbUser, gbConfigHint:
 		payload := p.GetMessage(fPayload)
@@ -601,7 +791,7 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 			}
 		}
 	case gbJoin, gbLeave, gbFail, 0:
-		d.applyViewChangeLocked(gs, newView, kind, procs, wantState)
+		wrong = d.applyViewChangeLocked(gs, newView, kind, procs, wantState)
 	}
 
 	// Step 3: unwedge and reprocess any data packets held during the flush.
@@ -619,23 +809,66 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 	for _, h := range held {
 		d.dispatchHeld(h)
 	}
+	d.removeGhosts(gid.Base(), ghosts)
+	for _, w := range wrong {
+		w := w
+		go d.rejoinRemovedMember(gid.Base(), w.proc, w.recv)
+	}
 }
 
-// recordGbDoneLocked remembers that a GBCAST request id has committed at
-// this site, bounding the history. Caller holds d.mu.
-func recordGbDoneLocked(gs *groupState, reqID int64) {
-	if gs.gbDone == nil {
-		gs.gbDone = make(map[int64]bool)
+// ghostMembersLocked returns the view members listed at this site that this
+// daemon does not host — processes of a previous incarnation of the site.
+// Caller holds d.mu.
+func (d *Daemon) ghostMembersLocked(v core.View) []addr.Address {
+	var ghosts []addr.Address
+	for _, m := range v.Members {
+		if m.Site != d.site {
+			continue
+		}
+		if _, ok := d.procs[m.Base()]; !ok {
+			ghosts = append(ghosts, m.Base())
+		}
 	}
-	if gs.gbDone[reqID] {
+	return ghosts
+}
+
+// removeGhosts asks the group coordinator to remove dead previous-incarnation
+// members hosted at this site.
+func (d *Daemon) removeGhosts(gid addr.Address, ghosts []addr.Address) {
+	if len(ghosts) == 0 {
 		return
 	}
-	gs.gbDone[reqID] = true
-	gs.gbDoneOrder = append(gs.gbDoneOrder, reqID)
-	if len(gs.gbDoneOrder) > gbDoneLimit {
-		old := gs.gbDoneOrder[0]
-		gs.gbDoneOrder = gs.gbDoneOrder[1:]
-		delete(gs.gbDone, old)
+	d.mu.Lock()
+	for _, g := range ghosts {
+		d.failedProcs[g] = true
+	}
+	d.mu.Unlock()
+	d.requestRemoval(gid, ghosts, gbFail, false)
+}
+
+// reqIDParts splits a stable request id into its requester key (site and
+// incarnation, the high word) and per-requester counter (the low word).
+func reqIDParts(reqID int64) (requester, counter int64) {
+	return reqID >> 32, reqID & 0xffffffff
+}
+
+// gbCommittedLocked reports whether a GBCAST request id has already committed
+// at this site: its counter is at or below the requester's high-water mark.
+// Caller holds d.mu.
+func gbCommittedLocked(gs *groupState, reqID int64) bool {
+	requester, counter := reqIDParts(reqID)
+	return counter <= gs.gbSeen[requester]
+}
+
+// recordGbDoneLocked advances the requester's high-water mark past a
+// committed GBCAST request id. Caller holds d.mu.
+func recordGbDoneLocked(gs *groupState, reqID int64) {
+	requester, counter := reqIDParts(reqID)
+	if gs.gbSeen == nil {
+		gs.gbSeen = make(map[int64]int64)
+	}
+	if counter > gs.gbSeen[requester] {
+		gs.gbSeen[requester] = counter
 	}
 }
 
@@ -651,24 +884,75 @@ func (d *Daemon) dispatchHeld(h heldPacket) {
 	}
 }
 
-// applyViewChangeLocked installs a new membership view. Caller holds d.mu.
-func (d *Daemon) applyViewChangeLocked(gs *groupState, newView core.View, kind int64, procs []addr.Address, wantState bool) {
+// wrongRemoval records a local, live member that a failure view removed —
+// evidence of a stale suspicion — so the caller can rejoin it once the
+// commit has been applied.
+type wrongRemoval struct {
+	proc addr.Address
+	recv func(block []byte, last bool)
+}
+
+// applyViewChangeLocked installs a new membership view and returns any
+// local, live members the change wrongly removed (the caller rejoins them
+// outside the lock). Caller holds d.mu.
+func (d *Daemon) applyViewChangeLocked(gs *groupState, newView core.View, kind int64, procs []addr.Address, wantState bool) []wrongRemoval {
 	if gs.view.ID != 0 && newView.ID <= gs.view.ID {
 		// Stale or duplicate commit: a view with this id (or a later one)
 		// is already installed. Re-applying it would re-clone the view and
 		// re-invoke every member's deliverView callback — the retransmitted
 		// commit only needs its unwedge side effect, which the caller
 		// performs regardless.
-		return
+		return nil
 	}
 	old := gs.view
 	gs.prevView = old
 	gs.view = newView.Clone()
 	d.counters.ViewChanges++
 
+	var wrong []wrongRemoval
 	if kind == gbFail {
 		for _, pr := range procs {
+			if pr.Site == d.site {
+				if lp, ok := d.procs[pr.Base()]; ok && lp.alive {
+					// This site hosts the removed process and it is alive:
+					// the removal rested on a stale failure belief (a false
+					// suspicion, or a partition this copy never noticed).
+					// Do not blacklist its traffic; rejoin it instead.
+					var recv func(block []byte, last bool)
+					if ms, ok := gs.members[pr.Base()]; ok {
+						recv = ms.stateRecv
+					}
+					wrong = append(wrong, wrongRemoval{proc: pr.Base(), recv: recv})
+					continue
+				}
+			}
 			d.failedProcs[pr.Base()] = true
+		}
+	}
+	// Any process listed in the new view is alive by the view agreement:
+	// clear stale failure records, so a member that was presumed dead during
+	// a partition and rejoins through the merge protocol is not silently
+	// ignored by the receive path.
+	for _, m := range newView.Members {
+		delete(d.failedProcs, m.Base())
+	}
+
+	// Track joiners awaiting a state transfer — at every member site, not
+	// just the provider's, so whichever site hosts the new oldest member
+	// after a failure can take the transfer over.
+	if kind == gbJoin && wantState {
+		if gs.pendingXfer == nil {
+			gs.pendingXfer = make(map[addr.Address]bool)
+		}
+		for _, p := range procs {
+			if newView.Contains(p) && !old.Contains(p) {
+				gs.pendingXfer[p.Base()] = true
+			}
+		}
+	}
+	for j := range gs.pendingXfer {
+		if !newView.Contains(j) {
+			delete(gs.pendingXfer, j)
 		}
 	}
 
@@ -692,9 +976,10 @@ func (d *Daemon) applyViewChangeLocked(gs *groupState, newView core.View, kind i
 			continue
 		}
 		ms := &memberState{
-			proc:   lp,
-			causal: core.NewCausalQueue(newView.RankOf(m), newView.Size()),
-			total:  core.NewTotalQueue(0),
+			proc:       lp,
+			causal:     core.NewCausalQueue(newView.RankOf(m), newView.Size()),
+			total:      core.NewTotalQueue(0),
+			joinedView: newView.ID,
 		}
 		// Was this an explicit join from this site with a state request?
 		key := joinKey{gs.view.Group, m.Base()}
@@ -738,10 +1023,34 @@ func (d *Daemon) applyViewChangeLocked(gs *groupState, newView core.View, kind i
 				gid := newView.Group
 				joiners := append([]addr.Address(nil), procs...)
 				prov := ms.stateProv
-				d.enqueue(ms.proc, func() { d.sendStateBlocks(gid, joiners, prov) })
+				xid := uint64(newView.ID)
+				d.enqueue(ms.proc, func() { d.sendStateBlocks(gid, joiners, prov, xid) })
 			}
 		}
 	}
+
+	// Provider fail-over: if this change replaced the group's oldest member
+	// (the state-transfer provider) while transfers were still pending, the
+	// new oldest member re-ships the state from the beginning. The joiner
+	// discards any partial transfer from the dead provider (the blocks carry
+	// the attempt id) so it never assembles a mixed state.
+	if kind != gbJoin && len(gs.pendingXfer) > 0 && newView.Size() > 0 && old.Size() > 0 &&
+		old.Coordinator().Base() != newView.Coordinator().Base() {
+		oldest := newView.Coordinator()
+		if oldest.Site == d.site {
+			if ms, ok := gs.members[oldest.Base()]; ok {
+				gid := newView.Group
+				joiners := make([]addr.Address, 0, len(gs.pendingXfer))
+				for j := range gs.pendingXfer {
+					joiners = append(joiners, j)
+				}
+				prov := ms.stateProv
+				xid := uint64(newView.ID)
+				d.enqueue(ms.proc, func() { d.sendStateBlocks(gid, joiners, prov, xid) })
+			}
+		}
+	}
+	return wrong
 }
 
 func contains(list []addr.Address, a addr.Address) bool {
@@ -774,8 +1083,11 @@ func anyContained(v core.View, ps []addr.Address) bool {
 }
 
 // sendStateBlocks captures the group state from the provider and ships it to
-// each joiner's site. Runs on the providing member's task queue.
-func (d *Daemon) sendStateBlocks(gid addr.Address, joiners []addr.Address, provider func() [][]byte) {
+// each joiner's site, stamping every block with the transfer attempt id (the
+// view id the provider ships under) so a joiner can tell a fail-over restart
+// from the original provider's stragglers. Runs on the providing member's
+// task queue.
+func (d *Daemon) sendStateBlocks(gid addr.Address, joiners []addr.Address, provider func() [][]byte, xferID uint64) {
 	var blocks [][]byte
 	if provider != nil {
 		blocks = provider()
@@ -786,6 +1098,7 @@ func (d *Daemon) sendStateBlocks(gid addr.Address, joiners []addr.Address, provi
 			pkt.PutAddress(fGroup, gid)
 			pkt.PutAddress(fSender, j)
 			pkt.PutInt(fStateLast, 1)
+			pkt.PutInt(fXferID, int64(xferID))
 			_ = d.sendPacket(j.Site, ptStateBlock, pkt)
 			continue
 		}
@@ -797,19 +1110,26 @@ func (d *Daemon) sendStateBlocks(gid addr.Address, joiners []addr.Address, provi
 			if i == len(blocks)-1 {
 				pkt.PutInt(fStateLast, 1)
 			}
+			pkt.PutInt(fXferID, int64(xferID))
 			_ = d.sendPacket(j.Site, ptStateBlock, pkt)
 		}
 	}
 }
 
-// handleStateBlock delivers a state-transfer block to a joining member and,
-// on the final block, releases any deliveries held while the transfer was in
-// progress.
+// handleStateBlock buffers a state-transfer block for a joining member and,
+// on the final block, delivers the complete state to the receiver, releases
+// the deliveries held while the transfer was in progress, and announces the
+// completion so no site re-triggers the transfer. Buffering until the final
+// block (rather than streaming) is what makes provider fail-over safe: a
+// transfer restarted by the new oldest member simply discards the dead
+// provider's partial buffer instead of handing the application a mix of two
+// providers' blocks.
 func (d *Daemon) handleStateBlock(from addr.SiteID, p *msg.Message) {
 	gid := p.GetAddress(fGroup)
 	target := p.GetAddress(fSender)
 	data := p.GetBytes(fStateData)
 	last := p.GetInt(fStateLast, 0) == 1
+	xid := uint64(p.GetInt(fXferID, 0))
 
 	d.mu.Lock()
 	gs, ok := d.groups[gid.Base()]
@@ -818,25 +1138,97 @@ func (d *Daemon) handleStateBlock(from addr.SiteID, p *msg.Message) {
 		return
 	}
 	ms, ok := gs.members[target.Base()]
-	if !ok {
+	if !ok || !ms.awaitingState {
+		// The member never asked for state, or its transfer already
+		// completed: a duplicate fail-over re-send changes nothing.
 		d.mu.Unlock()
 		return
 	}
-	recv := ms.stateRecv
-	if recv != nil && (len(data) > 0 || last) {
-		cp := append([]byte(nil), data...)
-		d.enqueue(ms.proc, func() { recv(cp, last) })
+	if xid < ms.xferID {
+		d.mu.Unlock()
+		return // straggler from a provider that has been failed over
 	}
-	var held []func()
-	if last {
-		ms.awaitingState = false
-		held = ms.held
-		ms.held = nil
+	if xid > ms.xferID {
+		// A new provider restarted the transfer: drop the partial buffer.
+		ms.xferID = xid
+		ms.xferBuf = nil
+	}
+	if len(data) > 0 {
+		ms.xferBuf = append(ms.xferBuf, append([]byte(nil), data...))
+	}
+	if !last {
+		d.mu.Unlock()
+		return
+	}
+
+	// Final block: hand the complete state to the receiver in order, then
+	// release the held deliveries behind it on the same queue.
+	recv := ms.stateRecv
+	blocks := ms.xferBuf
+	ms.xferBuf = nil
+	ms.awaitingState = false
+	held := ms.held
+	ms.held = nil
+	if recv != nil {
+		if len(blocks) == 0 {
+			d.enqueue(ms.proc, func() { recv(nil, true) })
+		}
+		for i, b := range blocks {
+			b, lastBlock := b, i == len(blocks)-1
+			d.enqueue(ms.proc, func() { recv(b, lastBlock) })
+		}
 	}
 	for _, fn := range held {
 		d.enqueue(ms.proc, fn)
 	}
+	delete(gs.pendingXfer, target.Base())
+	sites := gs.view.SitesOf()
 	d.mu.Unlock()
+
+	// Tell every member site the transfer completed, so a later coordinator
+	// change does not re-trigger it.
+	ack := msg.New()
+	ack.PutAddress(fGroup, gid.Base())
+	ack.PutAddress(fSender, target.Base())
+	if raw, err := encodePacket(ptStateAck, ack); err == nil {
+		for _, s := range sites {
+			if s == d.site {
+				continue
+			}
+			_ = d.sendRaw(s, raw)
+		}
+	}
+}
+
+// handleStateAck records that a joiner's state transfer completed, so this
+// site will not re-trigger it if it later hosts the new oldest member.
+func (d *Daemon) handleStateAck(from addr.SiteID, p *msg.Message) {
+	gid := p.GetAddress(fGroup)
+	joiner := p.GetAddress(fSender)
+	d.mu.Lock()
+	if gs, ok := d.groups[gid.Base()]; ok {
+		delete(gs.pendingXfer, joiner.Base())
+	}
+	d.mu.Unlock()
+}
+
+// enterNonPrimary wedges this partition's copy of a group into read-only
+// non-primary mode after a failed majority check, and tells the member sites
+// the prepare reached to do the same. The gbNonPrimary commit unwedges the
+// flush (held reads drain) without installing a view.
+func (d *Daemon) enterNonPrimary(gid addr.Address, reports map[addr.SiteID]pendingReport) {
+	notice := msg.New()
+	notice.PutAddress(fGroup, gid)
+	notice.PutInt(fKind, gbNonPrimary)
+	if raw, err := encodePacket(ptGbCommit, notice); err == nil {
+		for site := range reports {
+			if site == d.site {
+				continue
+			}
+			_ = d.sendRaw(site, raw)
+		}
+	}
+	d.applyGbCommit(d.site, notice)
 }
 
 // handleSiteFailure reacts to the failure detector declaring a site dead:

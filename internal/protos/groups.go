@@ -1,7 +1,9 @@
 package protos
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/addr"
@@ -44,9 +46,10 @@ func (d *Daemon) CreateGroup(creator addr.Address, name string) (core.View, erro
 		recent:  make(map[core.MsgID]*msg.Message),
 	}
 	gs.members[creator.Base()] = &memberState{
-		proc:   lp,
-		causal: core.NewCausalQueue(0, 1),
-		total:  core.NewTotalQueue(0),
+		proc:       lp,
+		causal:     core.NewCausalQueue(0, 1),
+		total:      core.NewTotalQueue(0),
+		joinedView: view.ID,
 	}
 	d.groups[gid] = gs
 	if name != "" {
@@ -193,7 +196,7 @@ func (d *Daemon) lookupRemote(name string, gid addr.Address) (core.View, error) 
 	for {
 		select {
 		case resp := <-ch:
-			if resp.GetInt("found", 0) == 1 {
+			if resp.GetInt(fFound, 0) == 1 {
 				view := decodeView(resp.GetMessage(fView))
 				d.cacheRemoteView(view)
 				return view, nil
@@ -226,7 +229,9 @@ func (d *Daemon) cacheRemoteView(v core.View) {
 	}
 }
 
-// handleLookup answers a name/gid lookup from another site.
+// handleLookup answers a name/gid lookup from another site. The response
+// carries whether this site's copy of the group is primary, so the merge
+// protocol can tell the primary partition apart from a fellow minority.
 func (d *Daemon) handleLookup(from addr.SiteID, p *msg.Message) {
 	name := p.GetString(fName, "")
 	gid := p.GetAddress(fGroup)
@@ -234,10 +239,12 @@ func (d *Daemon) handleLookup(from addr.SiteID, p *msg.Message) {
 	resp.PutInt(fCall, p.GetInt(fCall, 0))
 	d.mu.Lock()
 	var found *core.View
+	primary := false
 	if !gid.IsNil() {
 		if gs, ok := d.groups[gid.Base()]; ok {
 			v := gs.view.Clone()
 			found = &v
+			primary = !gs.nonPrimary
 		}
 	}
 	if found == nil && name != "" {
@@ -245,16 +252,21 @@ func (d *Daemon) handleLookup(from addr.SiteID, p *msg.Message) {
 			if gs.view.Name == name {
 				v := gs.view.Clone()
 				found = &v
+				primary = !gs.nonPrimary
 				break
 			}
 		}
 	}
 	d.mu.Unlock()
+	resp.PutInt(fSite, int64(d.site))
 	if found != nil {
-		resp.PutInt("found", 1)
+		resp.PutInt(fFound, 1)
 		resp.PutMessage(fView, encodeView(*found))
+		if primary {
+			resp.PutInt(fPrimary, 1)
+		}
 	} else {
-		resp.PutInt("found", 0)
+		resp.PutInt(fFound, 0)
 	}
 	_ = d.sendPacket(from, ptLookupResp, resp)
 }
@@ -345,6 +357,26 @@ func (d *Daemon) SetStateProvider(member, gid addr.Address, provider func() [][]
 	return nil
 }
 
+// SetStateReceiver registers (or replaces) the routine that receives the
+// group state on the member's behalf. Join with a StateReceiver registers
+// one implicitly; group creators — which never joined — use this call so
+// that a later partition-merge rejoin can restore their state from the
+// primary.
+func (d *Daemon) SetStateReceiver(member, gid addr.Address, recv func(block []byte, last bool)) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	gs, ok := d.groups[gid.Base()]
+	if !ok {
+		return ErrUnknownGroup
+	}
+	ms, ok := gs.members[member.Base()]
+	if !ok {
+		return ErrNotMember
+	}
+	ms.stateRecv = recv
+	return nil
+}
+
 // actingCoordinator returns the oldest member of the view whose site is not
 // suspected and that is not known to have failed. Caller holds d.mu.
 func (d *Daemon) actingCoordinator(v core.View) addr.Address {
@@ -360,6 +392,19 @@ func (d *Daemon) actingCoordinator(v core.View) addr.Address {
 	return addr.Nil
 }
 
+// groupReqMu returns the mutex serializing this daemon's GBCAST request
+// submissions for one group.
+func (d *Daemon) groupReqMu(gid addr.Address) *sync.Mutex {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	mu, ok := d.reqSerial[gid.Base()]
+	if !ok {
+		mu = &sync.Mutex{}
+		d.reqSerial[gid.Base()] = mu
+	}
+	return mu
+}
+
 // coordinatorCall routes a gbRequest to the group's acting coordinator and
 // waits for its gbDone response, retrying with a refreshed view if the
 // coordinator cannot be reached (it may have failed). The request carries a
@@ -367,7 +412,17 @@ func (d *Daemon) actingCoordinator(v core.View) addr.Address {
 // committing but before answering, the re-submission reaches the successor
 // with the same id and is answered from the commit record instead of being
 // executed twice.
+//
+// Submissions are serialized per group: a daemon has at most one GBCAST
+// request for a given group in flight at a time, and ids are minted under
+// the same lock, so a requester's commits happen in request-id order. The
+// per-requester high-water dedupe (groupState.gbSeen) depends on this — an
+// id below the high-water mark is only guaranteed to have committed if a
+// later id can never commit while an earlier one is still in flight.
 func (d *Daemon) coordinatorCall(gid addr.Address, req *msg.Message) (*msg.Message, error) {
+	mu := d.groupReqMu(gid)
+	mu.Lock()
+	defer mu.Unlock()
 	if req.GetInt(fReqID, 0) == 0 {
 		req.PutInt(fReqID, d.newReqID())
 	}
@@ -409,6 +464,11 @@ func (d *Daemon) coordinatorCall(gid addr.Address, req *msg.Message) (*msg.Messa
 			d.mu.Lock()
 			delete(d.remoteViews, gid.Base())
 			d.mu.Unlock()
+		}
+		if errors.Is(lastErr, ErrNonPrimary) {
+			// The coordinator is wedged in a minority partition; retrying
+			// the same partition cannot succeed until the merge runs.
+			return nil, lastErr
 		}
 		time.Sleep(20 * time.Millisecond)
 	}

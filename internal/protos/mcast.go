@@ -180,6 +180,12 @@ func (d *Daemon) sendGroupMulticast(sender addr.Address, lp *localProc, proto Pr
 			d.mu.Unlock()
 			return d.relayExternalMulticast(sender, lp, proto, gid, id, entry, payload)
 		}
+		if gs.nonPrimary {
+			// A minority partition is read-only: no multicast may originate
+			// here until the merge protocol rejoins the primary.
+			d.mu.Unlock()
+			return ErrNonPrimary
+		}
 		ms, isMember := gs.members[sender.Base()]
 		if !isMember {
 			d.mu.Unlock()
@@ -336,6 +342,12 @@ func (d *Daemon) relayMulticast(from addr.SiteID, pkt *msg.Message) {
 	}
 	if gs.wedged {
 		gs.heldPkts = append(gs.heldPkts, heldPacket{from, ptData, pkt})
+		d.mu.Unlock()
+		return
+	}
+	if gs.nonPrimary {
+		// This site's copy is stranded in a minority partition; it must not
+		// fan a relay out under its stale (possibly split-brain) view.
 		d.mu.Unlock()
 		return
 	}

@@ -1,0 +1,360 @@
+package protos
+
+// Partition merge. The paper's fault model is crash-only: a network
+// partition is outside it, and the original recovery is to restart the
+// minority sites. The primary-partition extension implemented here keeps the
+// minority alive instead: executeGb's majority rule stops it from installing
+// split-brain views (the group copy wedges into read-only "non-primary"
+// mode), and once the partition heals this file's merge protocol discovers
+// the primary partition's copy of the group, discards the minority's stale
+// speculative state, and rejoins each local member through the ordinary
+// join + state-transfer machinery — no process restart, no lost addresses.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/msg"
+)
+
+// mergeRetries bounds how often a merge rejoin is retried before the merge
+// attempt is abandoned (a later recovery event or MergeGroup call tries
+// again from scratch while the group copy is still non-primary; once the
+// local copy has been discarded the retries are the only safety net, so they
+// are generous).
+const mergeRetries = 5
+
+// GroupPrimary reports whether this site's copy of the group is in the
+// primary partition. Sites that host no members of the group — and therefore
+// hold no copy that could be stale — report true.
+func (d *Daemon) GroupPrimary(gid addr.Address) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if gs, ok := d.groups[gid.Base()]; ok {
+		return !gs.nonPrimary
+	}
+	return true
+}
+
+// WatchPrimary registers a callback invoked whenever a locally hosted group
+// copy transitions between primary and non-primary status: (gid, false) when
+// the copy wedges into a minority partition, (gid, true) when it resumes or
+// completes a merge back into the primary.
+func (d *Daemon) WatchPrimary(cb func(gid addr.Address, primary bool)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.primWatch = append(d.primWatch, cb)
+}
+
+// notifyPrimary delivers a primary-status transition to every watcher.
+func (d *Daemon) notifyPrimary(gid addr.Address, primary bool) {
+	d.mu.Lock()
+	watchers := make([]func(addr.Address, bool), len(d.primWatch))
+	copy(watchers, d.primWatch)
+	d.mu.Unlock()
+	for _, w := range watchers {
+		w(gid, primary)
+	}
+}
+
+// MergeGroup merges this site's non-primary copy of a group back into the
+// primary partition. Under MergeAuto the daemon calls it by itself when the
+// failure detector observes the partition healing; under MergeManual the
+// application decides when. Merging a group that is not in non-primary mode
+// is a no-op.
+func (d *Daemon) MergeGroup(gid addr.Address) error {
+	return d.mergeGroup(gid.Base())
+}
+
+// mergeNonPrimaryGroups starts a merge attempt for every group copy stranded
+// in non-primary mode. Called on failure-detector recovery events.
+func (d *Daemon) mergeNonPrimaryGroups() {
+	d.mu.Lock()
+	var gids []addr.Address
+	for gid, gs := range d.groups {
+		if gs.nonPrimary && !d.merging[gid] {
+			gids = append(gids, gid)
+		}
+	}
+	d.mu.Unlock()
+	for _, gid := range gids {
+		gid := gid
+		go func() { _ = d.mergeGroup(gid) }()
+	}
+}
+
+// mergeGroup runs the merge protocol for one group: find the primary
+// partition's current view, and either resume in place (the primary never
+// moved past the view this copy already holds, so nothing diverged) or
+// discard the local copy and rejoin every live local member with a state
+// transfer.
+func (d *Daemon) mergeGroup(gid addr.Address) error {
+	d.mu.Lock()
+	gs, ok := d.groups[gid]
+	if !ok || !gs.nonPrimary || d.merging[gid] || d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.merging[gid] = true
+	staleView := gs.view.Clone()
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		delete(d.merging, gid)
+		d.mu.Unlock()
+	}()
+
+	sv, err := d.surveyGroup(gid, staleView.Name)
+	if err != nil {
+		return err
+	}
+	if sv.primary == nil {
+		// No partition anywhere holds a primary copy (e.g. a three-way
+		// split wedged every side). If the reachable wedged copies agree,
+		// resume the last agreed view in place.
+		return d.resumeWedged(gid, staleView, sv.wedged)
+	}
+	primView := *sv.primary
+
+	d.mu.Lock()
+	gs, ok = d.groups[gid]
+	if !ok || !gs.nonPrimary {
+		d.mu.Unlock()
+		return nil
+	}
+	if primView.ID == staleView.ID {
+		// The partition healed before the primary handled any failure: both
+		// sides still hold the same agreed view, nothing was committed past
+		// it here (writes were refused), and anything committed there is
+		// retransmitted by the reliable transport. Resume in place.
+		gs.nonPrimary = false
+		gs.wedged = false
+		held := gs.heldPkts
+		gs.heldPkts = nil
+		d.mu.Unlock()
+		for _, h := range held {
+			d.dispatchHeld(h)
+		}
+		d.notifyPrimary(gid, true)
+		return nil
+	}
+
+	// Full merge: snapshot the live local members and their state
+	// receivers, discard the stale group copy wholesale, and rejoin each
+	// member from scratch. The join commit rebuilds the member state with
+	// fresh ordering queues, and the state transfer replaces the
+	// application's speculative state with the primary's.
+	type rejoin struct {
+		proc      addr.Address
+		recv      func(block []byte, last bool)
+		inPrimary bool
+	}
+	var rejoins []rejoin
+	for a, ms := range gs.members {
+		if !ms.proc.alive {
+			continue
+		}
+		rejoins = append(rejoins, rejoin{a, ms.stateRecv, primView.Contains(a)})
+	}
+	delete(d.groups, gid)
+	d.remoteViews[gid] = primView.Clone()
+	if primView.Name != "" {
+		d.nameCache[primView.Name] = gid
+	}
+	d.mu.Unlock()
+
+	var firstErr error
+	for _, r := range rejoins {
+		if r.inPrimary {
+			// The primary still lists this member (it healed before the
+			// removal committed): purge the stale entry first, so the rejoin
+			// runs the full join protocol — rebuilding the member's ordering
+			// state everywhere — instead of no-opping against the existing
+			// membership.
+			var lerr error
+			for attempt := 0; attempt < mergeRetries; attempt++ {
+				if lerr = d.Leave(r.proc, gid); lerr == nil {
+					break
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			if lerr != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("protos: merge purge of %v: %w", r.proc, lerr)
+				}
+				continue
+			}
+		}
+		var err error
+		for attempt := 0; attempt < mergeRetries; attempt++ {
+			_, err = d.Join(r.proc, gid, JoinOptions{
+				WantState:     r.recv != nil,
+				StateReceiver: r.recv,
+			})
+			if err == nil {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("protos: merge rejoin of %v: %w", r.proc, err)
+		}
+	}
+	if firstErr == nil {
+		d.notifyPrimary(gid, true)
+	}
+	return firstErr
+}
+
+// groupSurvey is the outcome of polling every attached site for a group: a
+// primary copy's view if any site holds one, and the views of the wedged
+// (non-primary) copies that answered, by site.
+type groupSurvey struct {
+	primary *core.View
+	wedged  map[addr.SiteID]core.View
+}
+
+// surveyGroup polls every attached site for its copy of a group. It returns
+// as soon as a primary copy answers; otherwise it collects the wedged
+// copies' views until every queried site has answered or the call times
+// out. Answers from fellow minority sites report primary=0, so a minority
+// cannot masquerade as the primary.
+func (d *Daemon) surveyGroup(gid addr.Address, name string) (groupSurvey, error) {
+	sv := groupSurvey{wedged: make(map[addr.SiteID]core.View)}
+	callID, ch := d.newCall()
+	defer d.dropCall(callID)
+
+	req := msg.New()
+	req.PutInt(fCall, callID)
+	req.PutAddress(fGroup, gid)
+	if name != "" {
+		req.PutString(fName, name)
+	}
+	raw, err := encodePacket(ptLookup, req)
+	if err != nil {
+		return sv, err
+	}
+	asked := 0
+	for _, s := range d.net.Sites() {
+		if s == d.site {
+			continue
+		}
+		if err := d.sendRaw(s, raw); err == nil {
+			asked++
+		}
+	}
+	if asked == 0 {
+		return sv, fmt.Errorf("%w: no reachable sites", ErrNonPrimary)
+	}
+	deadline := time.After(d.cfg.CallTimeout)
+	answers := 0
+	for {
+		select {
+		case resp := <-ch:
+			answers++
+			if resp.GetInt(fFound, 0) == 1 {
+				v := decodeView(resp.GetMessage(fView))
+				if resp.GetInt(fPrimary, 0) == 1 {
+					sv.primary = &v
+					return sv, nil
+				}
+				if s := addr.SiteID(resp.GetInt(fSite, 0)); s != 0 {
+					sv.wedged[s] = v
+				}
+			}
+			if answers >= asked {
+				return sv, nil
+			}
+		case <-deadline:
+			// Partial answers: the caller decides whether what arrived is
+			// enough (the resume path requires half the membership).
+			return sv, nil
+		}
+	}
+}
+
+// resumeWedged handles total wedge: no partition anywhere retained half of
+// the last agreed view (a multi-way split), so every copy is non-primary
+// and there is no primary to merge into. Nothing can have committed past
+// the last agreed view in that state, so if the reachable wedged copies all
+// still hold that same view and together cover at least half of its
+// members, the group is allowed to resume in place. The site hosting the
+// oldest reachable member acts as the single initiator; it clears the
+// reachable copies with a gbResume notice and then asks for a corroborated
+// removal of the members that are still unreachable (the corroboration in
+// the flush protects any that turn out to be alive).
+func (d *Daemon) resumeWedged(gid addr.Address, staleView core.View, wedged map[addr.SiteID]core.View) error {
+	for _, v := range wedged {
+		if v.ID != staleView.ID {
+			return fmt.Errorf("%w: wedged copies disagree (view %d vs %d); waiting for a primary",
+				ErrNonPrimary, v.ID, staleView.ID)
+		}
+	}
+	reachable := map[addr.SiteID]bool{d.site: true}
+	for s := range wedged {
+		reachable[s] = true
+	}
+	votes := 0
+	for _, m := range staleView.Members {
+		if reachable[m.Site] {
+			votes++
+		}
+	}
+	if votes*2 < staleView.Size() {
+		return fmt.Errorf("%w: reachable wedged copies cover only %d of %d members",
+			ErrNonPrimary, votes, staleView.Size())
+	}
+	for _, m := range staleView.Members {
+		if reachable[m.Site] {
+			if m.Site != d.site {
+				// Another reachable site hosts an older member: its own
+				// merge attempt initiates the resume, keeping the initiator
+				// unique.
+				return nil
+			}
+			break
+		}
+	}
+
+	notice := msg.New()
+	notice.PutAddress(fGroup, gid)
+	notice.PutInt(fKind, gbResume)
+	notice.PutMessage(fView, encodeView(staleView))
+	if raw, err := encodePacket(ptGbCommit, notice); err == nil {
+		for s := range wedged {
+			_ = d.sendRaw(s, raw)
+		}
+	}
+	d.applyGbCommit(d.site, notice)
+
+	var unreached []addr.Address
+	for _, m := range staleView.Members {
+		if !reachable[m.Site] {
+			unreached = append(unreached, m.Base())
+		}
+	}
+	if len(unreached) > 0 {
+		d.requestRemoval(gid, unreached, gbFail, false)
+	}
+	return nil
+}
+
+// rejoinRemovedMember restores the membership of a local, live process that
+// a failure view wrongly removed (a stale suspicion that slipped past the
+// corroboration — e.g. the member's site was unreachable at prepare time
+// but its copy of the group never wedged). The member rejoins through the
+// ordinary join machinery, pulling fresh state if it has a receiver.
+func (d *Daemon) rejoinRemovedMember(gid addr.Address, proc addr.Address, recv func(block []byte, last bool)) {
+	for attempt := 0; attempt < mergeRetries; attempt++ {
+		_, err := d.Join(proc, gid, JoinOptions{
+			WantState:     recv != nil,
+			StateReceiver: recv,
+		})
+		if err == nil {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

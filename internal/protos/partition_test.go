@@ -1,0 +1,253 @@
+package protos
+
+// Primary-partition and merge scenarios at the protocol level: a minority
+// partition must wedge read-only instead of minting a split-brain view, the
+// majority must keep committing, and a healed minority must merge back in
+// through the join machinery without a restart. Also the regression test for
+// the per-requester GBCAST dedupe high-water marks.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/msg"
+	"repro/internal/simnet"
+)
+
+// TestMinorityPartitionWedgesThenMerges cuts one site of a three-member
+// group off from the other two. The majority side must remove the stranded
+// member and keep working; the minority side must refuse to install a
+// split-brain view and reject writes (ErrNonPrimary); and after the
+// partition heals, the stranded member must rejoin automatically — same
+// process, no restart — and carry traffic again.
+func TestMinorityPartitionWedgesThenMerges(t *testing.T) {
+	tc := newFaultCluster(t, 3, simnet.FastConfig(), time.Second, scenarioDetector())
+	procs := buildGroup(t, tc, "prim", 1, 2, 3)
+	gid := groupOf(t, tc, procs[0], "prim")
+
+	var tmu sync.Mutex
+	var transitions []bool
+	tc.daemons[3].WatchPrimary(func(g addr.Address, primary bool) {
+		if g == gid {
+			tmu.Lock()
+			transitions = append(transitions, primary)
+			tmu.Unlock()
+		}
+	})
+
+	tc.net.Partition(3, 1)
+	tc.net.Partition(3, 2)
+
+	waitFor(t, "majority removes the stranded member", 10*time.Second, func() bool {
+		v := procs[0].lastView()
+		return v.Size() == 2 && !v.Contains(procs[2].addr)
+	})
+	waitFor(t, "minority wedges into non-primary mode", 10*time.Second, func() bool {
+		return !tc.daemons[3].GroupPrimary(gid)
+	})
+
+	// The minority is read-only: writes are refused, and no split-brain view
+	// was installed (the member still holds the last agreed 3-member view).
+	if _, err := tc.daemons[3].Multicast(procs[2].addr, CBCAST, addr.List{gid}, addr.EntryUserBase, body("rejected")); !errors.Is(err, ErrNonPrimary) {
+		t.Errorf("minority write err = %v, want ErrNonPrimary", err)
+	}
+	// Membership changes surface the same sentinel through the GBCAST reply
+	// path (the error text is reconstructed into the sentinel on arrival).
+	if err := tc.daemons[3].Leave(procs[2].addr, gid); !errors.Is(err, ErrNonPrimary) {
+		t.Errorf("minority Leave err = %v, want ErrNonPrimary", err)
+	}
+	if v := procs[2].lastView(); v.Size() != 3 {
+		t.Errorf("minority installed a split-brain view: %v", v)
+	}
+
+	// The majority keeps committing.
+	if _, err := tc.daemons[1].Multicast(procs[0].addr, ABCAST, addr.List{gid}, addr.EntryUserBase, body("during-partition")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "majority-side delivery during the partition", 5*time.Second, func() bool {
+		return procs[0].got("during-partition") && procs[1].got("during-partition")
+	})
+
+	// Heal: the minority must merge back automatically, through the ordinary
+	// join machinery, keeping its process address.
+	tc.net.HealAll()
+	ok3 := func() bool {
+		v := procs[0].lastView()
+		return v.Size() == 3 && v.Contains(procs[2].addr) && tc.daemons[3].GroupPrimary(gid)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) && !ok3() {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !ok3() {
+		t.Fatalf("merge did not converge: v1=%v v2=%v v3=%v prim3=%v",
+			procs[0].lastView(), procs[1].lastView(), procs[2].lastView(), tc.daemons[3].GroupPrimary(gid))
+	}
+
+	// The merged member carries traffic again.
+	if _, err := tc.daemons[3].Multicast(procs[2].addr, CBCAST, addr.List{gid}, addr.EntryUserBase, body("after-merge")); err != nil {
+		t.Fatalf("write after merge: %v", err)
+	}
+	waitFor(t, "post-merge delivery everywhere", 5*time.Second, func() bool {
+		return procs[0].got("after-merge") && procs[1].got("after-merge") && procs[2].got("after-merge")
+	})
+
+	tmu.Lock()
+	defer tmu.Unlock()
+	if len(transitions) < 2 || transitions[0] != false || transitions[len(transitions)-1] != true {
+		t.Errorf("primary-status transitions at the minority = %v, want false ... true", transitions)
+	}
+}
+
+// TestGbDedupeSurvivesLongHistory pins the per-requester high-water dedupe:
+// a requester that re-submits an already-committed GBCAST after hundreds of
+// other requests have committed in between must still be answered from the
+// commit record instead of re-executing. (The previous bounded 256-entry
+// request-id history forgot the request and delivered its payload twice.)
+func TestGbDedupeSurvivesLongHistory(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	procs := buildGroup(t, tc, "hw", 1, 2)
+	gid := groupOf(t, tc, procs[0], "hw")
+	d1 := tc.daemons[1]
+
+	mkReq := func(reqID int64, text string) *msg.Message {
+		req := msg.New()
+		req.PutInt(fKind, gbUser)
+		req.PutAddress(fGroup, gid)
+		req.PutAddress(fSender, procs[0].addr)
+		req.PutInt(fEntry, int64(addr.EntryUserBase))
+		req.PutMessage(fPayload, body(text))
+		req.PutInt(fReqID, reqID)
+		return req
+	}
+
+	first := int64(77)<<32 | 1
+	if _, err := d1.localGbRequest(gid, mkReq(first, "hw-once")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first GBCAST delivery", 5*time.Second, func() bool {
+		return procs[0].got("hw-once") && procs[1].got("hw-once")
+	})
+
+	// Hundreds of commits from other requesters — far beyond any bounded
+	// history — land in between.
+	for k := 0; k < 300; k++ {
+		id := int64(100+k)<<32 | 1
+		if _, err := d1.localGbRequest(gid, mkReq(id, fmt.Sprintf("filler-%03d", k))); err != nil {
+			t.Fatalf("filler %d: %v", k, err)
+		}
+	}
+
+	// The slow retrier re-submits the committed request.
+	if _, err := d1.localGbRequest(gid, mkReq(first, "hw-once")); err != nil {
+		t.Fatalf("re-submission: %v", err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	for i, p := range procs {
+		if n := countBody(p, "hw-once"); n != 1 {
+			t.Errorf("member %d delivered the re-submitted GBCAST %d times, want 1", i+1, n)
+		}
+	}
+}
+
+// TestTotalWedgeResumesAfterHeal splits a five-member group three ways so
+// that NO partition retains half of the view: every copy wedges
+// non-primary, and there is no primary to merge into. After the heal, the
+// reachable wedged copies — which all still hold the same last agreed view,
+// since nothing can have committed past it — must resume in place,
+// coordinated by the site hosting the oldest member, and carry traffic
+// again.
+func TestTotalWedgeResumesAfterHeal(t *testing.T) {
+	tc := newFaultCluster(t, 5, simnet.FastConfig(), time.Second, scenarioDetector())
+	procs := buildGroup(t, tc, "wedge", 1, 2, 3, 4, 5)
+	gid := groupOf(t, tc, procs[0], "wedge")
+
+	// Three-way split: {1,2} | {3,4} | {5}.
+	groups := [][]addr.SiteID{{1, 2}, {3, 4}, {5}}
+	for i, ga := range groups {
+		for j, gb := range groups {
+			if i >= j {
+				continue
+			}
+			for _, a := range ga {
+				for _, b := range gb {
+					tc.net.Partition(a, b)
+				}
+			}
+		}
+	}
+
+	waitFor(t, "every fragment wedges non-primary", 10*time.Second, func() bool {
+		for s := addr.SiteID(1); s <= 5; s++ {
+			if tc.daemons[s].GroupPrimary(gid) {
+				return false
+			}
+		}
+		return true
+	})
+
+	tc.net.HealAll()
+	waitFor(t, "all copies resume in place after the heal", 15*time.Second, func() bool {
+		for s := addr.SiteID(1); s <= 5; s++ {
+			if !tc.daemons[s].GroupPrimary(gid) {
+				return false
+			}
+		}
+		return true
+	})
+	// The resume installs no new view: everyone still holds the last agreed
+	// five-member view, and nothing was lost.
+	for i, p := range procs {
+		if v := p.lastView(); v.Size() != 5 {
+			t.Errorf("member %d view after resume = %v, want the intact 5-member view", i+1, v)
+		}
+	}
+
+	if _, err := tc.daemons[5].Multicast(procs[4].addr, ABCAST, addr.List{gid}, addr.EntryUserBase, body("resumed")); err != nil {
+		t.Fatalf("write after resume: %v", err)
+	}
+	waitFor(t, "post-resume delivery at every member", 10*time.Second, func() bool {
+		for _, p := range procs {
+			if !p.got("resumed") {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestAsymmetricPartitionRejoinsRemovedMember cuts only the link between
+// the coordinator's site and one member's site. The coordinator removes the
+// member (its site is unreachable from the coordinator, so the removal is
+// not corroborated away), but the member's own copy never wedges — its
+// acting coordinator is elsewhere. When the link heals and the removal
+// commit finally reaches the member's site, the daemon must notice it hosts
+// the removed process alive and rejoin it instead of silently dropping it.
+func TestAsymmetricPartitionRejoinsRemovedMember(t *testing.T) {
+	tc := newFaultCluster(t, 3, simnet.FastConfig(), time.Second, scenarioDetector())
+	procs := buildGroup(t, tc, "asym", 1, 2, 3)
+	gid := groupOf(t, tc, procs[0], "asym")
+
+	tc.net.Partition(1, 3)
+	waitFor(t, "coordinator removes the unreachable member", 10*time.Second, func() bool {
+		v := procs[0].lastView()
+		return v.Size() == 2 && !v.Contains(procs[2].addr)
+	})
+
+	tc.net.Heal(1, 3)
+	waitFor(t, "wrongly removed member rejoins after the heal", 15*time.Second, func() bool {
+		v := procs[0].lastView()
+		return v.Size() == 3 && v.Contains(procs[2].addr)
+	})
+
+	if _, err := tc.daemons[3].Multicast(procs[2].addr, CBCAST, addr.List{gid}, addr.EntryUserBase, body("back")); err != nil {
+		t.Fatalf("write from the rejoined member: %v", err)
+	}
+	waitFor(t, "rejoined member's traffic delivered", 5*time.Second, func() bool {
+		return procs[0].got("back") && procs[1].got("back")
+	})
+}

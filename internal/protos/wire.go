@@ -1,9 +1,3 @@
-// Package protos implements the per-site "protocols process" shown in
-// Figure 1 of the paper. One Daemon runs at every site: it performs all
-// inter-site communication, maintains process-group membership views,
-// implements the CBCAST / ABCAST / GBCAST multicast primitives on top of the
-// ordering state machines in internal/core, detects failures, and delivers
-// messages to the client processes registered at its site.
 package protos
 
 import (
@@ -85,6 +79,7 @@ const (
 	ptHeartbeat                   // failure-detector heartbeat (empty body)
 	ptStateBlock                  // state transfer block for a joining member
 	ptError                       // negative response to a call
+	ptStateAck                    // joiner's site announces its state transfer completed
 )
 
 // Field names used in daemon-to-daemon packet bodies.
@@ -116,6 +111,11 @@ const (
 	fErr       = "&err"     // error text
 	fReqID     = "&reqid"   // stable GBCAST request id, survives coordinator fail-over
 	fForce     = "&force"   // run the full wedge/flush even for a no-op change
+	fXferID    = "&xferid"  // state-transfer attempt id (the view id the provider shipped under)
+	fDead      = "&dead"    // prepare ack: removal targets this site confirms dead
+	fPrimary   = "&primary" // lookup response: the answering site's copy is primary
+	fFound     = "&found"   // lookup response: the answering site hosts the group
+	fSite      = "&site"    // lookup response: the answering site's id
 )
 
 // GB request kinds carried in ptGbRequest packets.
@@ -125,6 +125,8 @@ const (
 	gbFail                         // remove failed members
 	gbUser                         // user-level GBCAST delivery to an entry
 	gbConfigHint                   // reserved for the configuration tool (delivered like gbUser)
+	gbNonPrimary                   // minority notice: wedge into read-only non-primary mode
+	gbResume                       // total-wedge recovery: resume the last agreed view in place
 )
 
 // encodeView stores a view in a nested message.

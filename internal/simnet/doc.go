@@ -1,0 +1,21 @@
+// Package simnet simulates the conventional LAN assumed by the paper
+// (Section 2.1): a set of computing sites exchanging packets over links with
+// configurable latency, bandwidth, per-packet CPU cost, and probabilistic
+// message loss. Individual packets may be lost; the reliable transport
+// layered above (internal/transport) masks loss with retransmission. Links
+// never partition spontaneously (partitioning failures are outside the
+// paper's fault model), but fault-injection tests may cut or pause links
+// deliberately with Partition and PauseLink to drive the protocols through
+// failure scenarios.
+//
+// The simulator is a real-time one: a packet handed to Send is delivered to
+// the destination endpoint's receive channel after the configured delay has
+// elapsed on the wall clock. Per-link FIFO order is preserved, which matches
+// Ethernet behaviour and is what the transport's sequence numbers expect in
+// the common case.
+//
+// The default parameters of PaperConfig are calibrated to the numbers quoted
+// in Section 7 and Figure 3 of the paper: roughly 10 µs to traverse a link
+// within a site, about 16 ms to send an inter-site packet on the 10 Mbit
+// Ethernet of 1987, and fragmentation of large messages into 4 KB packets.
+package simnet

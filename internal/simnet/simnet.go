@@ -1,23 +1,3 @@
-// Package simnet simulates the conventional LAN assumed by the paper
-// (Section 2.1): a set of computing sites exchanging packets over links with
-// configurable latency, bandwidth, per-packet CPU cost, and probabilistic
-// message loss. Individual packets may be lost; the reliable transport
-// layered above (internal/transport) masks loss with retransmission. Links
-// never partition spontaneously (partitioning failures are outside the
-// paper's fault model), but fault-injection tests may cut or pause links
-// deliberately with Partition and PauseLink to drive the protocols through
-// failure scenarios.
-//
-// The simulator is a real-time one: a packet handed to Send is delivered to
-// the destination endpoint's receive channel after the configured delay has
-// elapsed on the wall clock. Per-link FIFO order is preserved, which matches
-// Ethernet behaviour and is what the transport's sequence numbers expect in
-// the common case.
-//
-// The default parameters of PaperConfig are calibrated to the numbers quoted
-// in Section 7 and Figure 3 of the paper: roughly 10 µs to traverse a link
-// within a site, about 16 ms to send an inter-site packet on the 10 Mbit
-// Ethernet of 1987, and fragmentation of large messages into 4 KB packets.
 package simnet
 
 import (
@@ -134,17 +114,19 @@ type Stats struct {
 type Network struct {
 	cfg Config
 
-	mu        sync.Mutex
-	endpoints map[SiteID]*Endpoint
-	links     map[linkKey]*link         // per-directed-link FIFO delivery queues
-	blocked   map[linkKey]bool          // injected partitions (packets dropped at send)
-	paused    map[linkKey]chan struct{} // injected pauses (packets held in order)
-	rng       *rand.Rand
-	stats     Stats
-	busy      map[SiteID]time.Duration
-	tracer    Tracer
-	closed    bool
-	done      chan struct{} // closed when the network shuts down
+	mu           sync.Mutex
+	endpoints    map[SiteID]*Endpoint
+	links        map[linkKey]*link         // per-directed-link FIFO delivery queues
+	blocked      map[linkKey]bool          // injected partitions (packets dropped at send)
+	paused       map[linkKey]chan struct{} // injected pauses (packets held in order)
+	rng          *rand.Rand
+	stats        Stats
+	busy         map[SiteID]time.Duration
+	tracer       Tracer
+	linkWatch    map[uint64]func(LinkEvent)
+	linkWatchSeq uint64
+	closed       bool
+	done         chan struct{} // closed when the network shuts down
 }
 
 type linkKey struct{ from, to SiteID }
@@ -284,30 +266,90 @@ func (n *Network) Close() {
 // partitions; these controls deliberately step outside it so tests can drive
 // the protocols through coordinator crashes, lost flushes, and recovery.
 
+// LinkEvent reports an injected partition being installed (Up=false) or
+// healed (Up=true) on the undirected (A, B) link. Watchers registered with
+// WatchLinks receive one event per pair, not per direction.
+type LinkEvent struct {
+	A, B SiteID
+	Up   bool
+}
+
+// WatchLinks registers a callback invoked whenever a partition is injected
+// or healed, and returns a function that unregisters it. The protocols
+// daemon uses heal events to probe the peer immediately (an instant
+// heartbeat) so that the failure detector — and the partition-merge
+// machinery above it — reacts to the heal right away instead of waiting out
+// a heartbeat round trip, and unregisters on Close so retired daemons are
+// not kept alive by the network. Callbacks run outside the network's lock
+// but must still be quick.
+func (n *Network) WatchLinks(cb func(LinkEvent)) (cancel func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linkWatchSeq++
+	id := n.linkWatchSeq
+	if n.linkWatch == nil {
+		n.linkWatch = make(map[uint64]func(LinkEvent))
+	}
+	n.linkWatch[id] = cb
+	return func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		delete(n.linkWatch, id)
+	}
+}
+
+// notifyLinks delivers a link event to every watcher. Caller must NOT hold
+// n.mu.
+func (n *Network) notifyLinks(ev LinkEvent) {
+	n.mu.Lock()
+	watchers := make([]func(LinkEvent), 0, len(n.linkWatch))
+	for _, w := range n.linkWatch {
+		watchers = append(watchers, w)
+	}
+	n.mu.Unlock()
+	for _, w := range watchers {
+		w(ev)
+	}
+}
+
 // Partition cuts both directions of the (a, b) link: packets submitted while
 // the partition is in place are silently dropped, exactly as if the wire
 // were unplugged. Packets already in flight still arrive. The reliable
 // transport retransmits across the outage, so Heal lets traffic resume.
 func (n *Network) Partition(a, b SiteID) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.blocked[linkKey{a, b}] = true
 	n.blocked[linkKey{b, a}] = true
+	n.mu.Unlock()
+	n.notifyLinks(LinkEvent{A: a, B: b, Up: false})
 }
 
 // Heal removes the partition between a and b.
 func (n *Network) Heal(a, b SiteID) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	_, was := n.blocked[linkKey{a, b}]
 	delete(n.blocked, linkKey{a, b})
 	delete(n.blocked, linkKey{b, a})
+	n.mu.Unlock()
+	if was {
+		n.notifyLinks(LinkEvent{A: a, B: b, Up: true})
+	}
 }
 
 // HealAll removes every injected partition.
 func (n *Network) HealAll() {
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	healed := make([]linkKey, 0, len(n.blocked))
+	for k := range n.blocked {
+		if k.from < k.to { // one event per undirected pair
+			healed = append(healed, k)
+		}
+	}
 	n.blocked = make(map[linkKey]bool)
+	n.mu.Unlock()
+	for _, k := range healed {
+		n.notifyLinks(LinkEvent{A: k.from, B: k.to, Up: true})
+	}
 }
 
 // PauseLink suspends delivery on the directed link from → to: packets

@@ -534,3 +534,42 @@ func TestPaperConfigValues(t *testing.T) {
 		t.Errorf("BytesPerSecond = %d", c.BytesPerSecond)
 	}
 }
+
+func TestWatchLinksReportsPartitionAndHeal(t *testing.T) {
+	n := New(FastConfig())
+	defer n.Close()
+	var mu sync.Mutex
+	var evs []LinkEvent
+	n.WatchLinks(func(ev LinkEvent) {
+		mu.Lock()
+		evs = append(evs, ev)
+		mu.Unlock()
+	})
+
+	n.Partition(1, 2)
+	n.Heal(1, 2)
+	n.Heal(1, 2) // healing a healthy link is not an event
+	n.Partition(3, 4)
+	n.Partition(5, 6)
+	n.HealAll()
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []LinkEvent{{1, 2, false}, {1, 2, true}, {3, 4, false}, {5, 6, false}}
+	if len(evs) < 4 {
+		t.Fatalf("events = %v", evs)
+	}
+	for i, w := range want {
+		if evs[i] != w {
+			t.Errorf("event %d = %v, want %v", i, evs[i], w)
+		}
+	}
+	// HealAll reports one Up event per partitioned pair, in any order.
+	up := map[LinkEvent]bool{}
+	for _, ev := range evs[4:] {
+		up[ev] = true
+	}
+	if len(evs[4:]) != 2 || !up[LinkEvent{3, 4, true}] || !up[LinkEvent{5, 6, true}] {
+		t.Errorf("HealAll events = %v", evs[4:])
+	}
+}

@@ -1,0 +1,10 @@
+// Package stable implements the stable-storage facility the paper's
+// recovery tools depend on (Section 2.2 "Stable storage" and Section 3.6's
+// logging mode of the replicated data tool): an append-only log of records
+// plus periodic checkpoints, with replay on recovery.
+//
+// Two implementations are provided: an in-memory store (used by tests and by
+// applications that only need the interface) and a file-backed store that
+// survives process restarts, which is what the recovery-manager examples and
+// the twenty-questions Step 6 ("restarting from total failures") use.
+package stable

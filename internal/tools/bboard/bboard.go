@@ -1,12 +1,3 @@
-// Package bboard implements the bulletin-board tool sketched in Section
-// 3.11 (and [Birman-d]): shared bulletin boards of the sort used in
-// blackboard-style AI applications. Unlike the news service it is linked
-// directly into its clients — every client is a member of the board's group
-// and holds a full copy — and is intended for high-performance shared data
-// management: reads are local, posts are a single multicast.
-//
-// Posts on one board can be totally ordered (ABCAST) or causally ordered
-// (CBCAST), chosen at attach time; reads never involve communication.
 package bboard
 
 import (

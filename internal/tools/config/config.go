@@ -1,13 +1,3 @@
-// Package config implements the configuration tool of Section 3.3: a
-// process group maintains a small configuration data structure (key/value
-// pairs) that, like the membership list, appears to change instantaneously —
-// configuration updates are carried by GBCAST, so every recipient of any
-// message sees the same configuration when that message arrives. Reads are
-// answered from the local copy at no communication cost; updates cost one
-// GBCAST (Table 1).
-//
-// The twenty-questions example uses it (Step 7) to re-assign member numbers
-// at run time for dynamic load balancing.
 package config
 
 import (

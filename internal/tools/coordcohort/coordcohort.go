@@ -1,10 +1,3 @@
-// Package coordcohort implements the coordinator–cohort tool of Sections
-// 3.3 and 6 of the paper. A group of processes uses it to respond to a
-// request sent to the group: one member (the coordinator) performs the
-// action and replies to the caller, while the others (the cohorts) monitor
-// its progress and take over, one by one, if it fails. Because every
-// participant picks the coordinator from the same ranked view with the same
-// deterministic rule, no extra agreement messages are needed.
 package coordcohort
 
 import (

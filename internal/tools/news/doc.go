@@ -1,0 +1,12 @@
+// Package news implements the news service of Section 3.9: processes enroll
+// in a system-wide facility by subject; every subscriber receives a copy of
+// each message posted to a subject it has enrolled for, in the order the
+// messages were posted. Unlike net-news, the service is an active entity
+// that forwards postings to interested processes immediately.
+//
+// The service is a process group of server processes (normally one per
+// site). Subscriptions and postings are ABCAST to the group so every server
+// sees them in the same order; the server ranked by the subscriber's site
+// forwards postings point-to-point, so each subscriber receives exactly one
+// copy, in posting order.
+package news

@@ -1,9 +1,3 @@
-// Package protect implements the protection tool of Section 3.10: incoming
-// messages are validated using the sender address, which the system
-// guarantees cannot be forged (it is a system field set by the protocols
-// process, and any client-supplied value is stripped before transmission).
-// Messages from unknown or untrusted clients are presented to a
-// user-specified routine that decides what to do with them.
 package protect
 
 import (

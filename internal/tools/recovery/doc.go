@@ -1,0 +1,13 @@
+// Package recovery implements the recovery manager of Section 3.8: it
+// restarts registered services after failures, and — running an algorithm in
+// the spirit of [Skeen] — distinguishes the total failure of a process group
+// (every member crashed; the recovering process should restart the group
+// from its stable state) from a partial failure (the group is still running
+// elsewhere; the recovering process should rejoin it and pick up the current
+// state by transfer).
+//
+// A service registers a restart function and, optionally, the stable store
+// holding its logs. RecoverAll is called when a site (re)starts; for each
+// registered service it looks the group up in the rest of the system and
+// advises Restart or Rejoin accordingly.
+package recovery

@@ -1,0 +1,20 @@
+// Package replica implements the replicated data tool of Section 3.6: a
+// simple way to replicate a data item among the members of a process group,
+// reducing access time in read-intensive settings and giving low-overhead
+// fault tolerance.
+//
+// The processes managing the item supply routines that update and (if
+// meaningful) read it; arguments are passed through uninterpreted, exactly
+// as in the paper. The tool handles the multicasting needed to keep the
+// copies consistent:
+//
+//   - in Total mode (a globally consistent request ordering is required,
+//     like the replicated FIFO queue of Section 2.4), updates travel by
+//     ABCAST;
+//   - in Causal mode (updates are asynchronous, or the caller has obtained
+//     mutual exclusion), updates travel by CBCAST, which is cheaper.
+//
+// An optional logging mode records updates on stable storage so the item can
+// be reloaded after a crash; a checkpoint routine may be supplied and is
+// invoked when the log grows long.
+package replica

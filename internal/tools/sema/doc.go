@@ -1,0 +1,11 @@
+// Package sema implements the replicated semaphore tool of Section 3.5: a
+// fault-tolerant semaphore managed by the members of a process group, with
+// fair (FIFO) request queueing. If the holder of the semaphore fails, the
+// semaphore is automatically released (when the group observes the failure
+// view) so the system never deadlocks on a dead process.
+//
+// Requests are ordered with ABCAST, so every manager sees the same queue and
+// the decision of who to grant next needs no extra communication: the oldest
+// manager sends the grant reply (Table 1: P is "1 ABCAST, all replies"-ish —
+// here one ABCAST plus one reply; V is one asynchronous CBCAST).
+package sema

@@ -1,16 +1,3 @@
-// Package statexfer implements the state transfer tool of Section 3.8: a
-// convenient way to join a pre-existing process group while transferring the
-// group state from the operational members to the joiner. The transfer is
-// virtually synchronous with respect to incoming requests: up to the instant
-// of the join the old members receive requests and the joiner does not; from
-// the join on, the joiner receives requests too — but only after it has
-// received the state that was current at the join. The kernel enforces that
-// cut (deliveries to the joiner are held until the last state block
-// arrives); this package adds block encoding helpers and a blocking
-// JoinWithState call.
-//
-// Process migration (Section 3.8) is expressed with this tool: start a new
-// process, JoinWithState, then have the old member Leave.
 package statexfer
 
 import (

@@ -1,0 +1,11 @@
+// Package txn implements the transactional facility sketched in Section
+// 3.11: a simple subroutine interface providing begin, commit, and abort,
+// with two-phase read/write locks and transactional access to replicated
+// data. The paper positions transactions as the right mechanism for
+// short-lived access to shared data, to be layered on top of the virtual
+// synchrony toolkit rather than underneath it — which is exactly how this
+// package is built: locks are granted by a lock-manager group whose requests
+// travel by ABCAST (so every manager sees the same queue), and writes are
+// buffered locally and applied through the replicated data tool's update
+// path at commit.
+package txn

@@ -1,8 +1,3 @@
-// Package vclock implements the vector timestamps used by the CBCAST
-// protocol (Section 3.1 of the paper). Each member of a process group keeps
-// a vector clock with one entry per member rank in the current view; a
-// CBCAST carries the sender's timestamp, and a receiver delays delivery
-// until the message is causally deliverable.
 package vclock
 
 import (

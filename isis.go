@@ -58,6 +58,9 @@ type (
 	Counters = protos.Counters
 	// SiteEvent is a failure-detector notification about a site.
 	SiteEvent = fdetect.Event
+	// MergePolicy selects how the cluster handles network partitions (the
+	// primary-partition rule and the merge trigger).
+	MergePolicy = protos.MergePolicy
 )
 
 // Multicast protocols (Section 3.1).
@@ -88,6 +91,26 @@ const (
 	SiteFailed    = fdetect.SiteFailed
 	SiteRecovered = fdetect.SiteRecovered
 )
+
+// Partition-handling policies (ClusterConfig.Merge).
+const (
+	// MergeAuto enforces the primary-partition rule and merges a minority
+	// partition back automatically once it heals. The default.
+	MergeAuto = protos.MergeAuto
+	// MergeManual enforces the primary-partition rule but leaves the merge
+	// to the application (Site.MergeGroup).
+	MergeManual = protos.MergeManual
+	// MergeNone disables the primary-partition rule: the paper's original
+	// crash-only fault model, in which a partitioned minority forms a
+	// split-brain view and recovers by restarting.
+	MergeNone = protos.MergeNone
+)
+
+// ErrNonPrimary is returned by writes (Cast, Join, Leave, group creation
+// traffic) addressed to a group whose local copy is stranded in a
+// non-primary (minority) partition. The copy is read-only until the
+// partition heals and the merge protocol rejoins the primary.
+var ErrNonPrimary = protos.ErrNonPrimary
 
 // NewMessage returns an empty message.
 func NewMessage() *Message { return msg.New() }

@@ -224,6 +224,23 @@ func (p *Process) SetStateProvider(gid Address, provider func() [][]byte) error 
 	return p.site.daemon.SetStateProvider(p.addr, gid, provider)
 }
 
+// SetStateReceiver registers the routine that restores this member's copy of
+// the group state from a transfer. Joining with JoinOptions.StateReceiver
+// registers one implicitly; group creators — which never joined — use this
+// call so that a partition-merge rejoin can rebuild their state from the
+// primary partition.
+func (p *Process) SetStateReceiver(gid Address, recv func(block []byte, last bool)) error {
+	return p.site.daemon.SetStateReceiver(p.addr, gid, recv)
+}
+
+// GroupPrimary reports whether this process's site holds a primary copy of
+// the group. While it reports false the group is read-only here: Cast, Join
+// and Leave return ErrNonPrimary until the partition heals and the merge
+// protocol rejoins the primary partition.
+func (p *Process) GroupPrimary(gid Address) bool {
+	return p.site.daemon.GroupPrimary(gid)
+}
+
 // Flush blocks until the process's outstanding asynchronous multicasts have
 // been transmitted and committed; it is called automatically by the tools
 // that manage logs and stable storage (Section 3.2, footnote 3).
