@@ -1,0 +1,290 @@
+// Command benchjson reduces `go test -bench` text output to a stable JSON
+// artifact and compares two such artifacts for performance regressions.
+//
+// It is the core of the CI bench-regression gate (.github/workflows/ci.yml):
+// the bench job pipes the full benchmark suite through `benchjson -out
+// BENCH_<sha>.json`, uploads the artifact, and then runs `benchjson -compare
+// BENCH_baseline.json BENCH_<sha>.json`, which exits non-zero when a
+// hot-path benchmark regressed by more than the threshold (default 20%) in
+// ns/op or allocs/op. See EXPERIMENTS.md for the baseline refresh procedure.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -count 5 ./... | benchjson -out BENCH_abc123.json
+//	benchjson -compare BENCH_baseline.json BENCH_abc123.json [-threshold 0.20]
+//
+// Multiple runs of the same benchmark (-count N) are aggregated: the minimum
+// is kept for ns/op, B/op, and allocs/op (the least-noise estimator on a
+// shared CI runner), the maximum for throughput-style custom metrics where
+// bigger is better.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// hotPath lists the benchmarks whose regression fails the CI gate: the
+// send/receive hot path pinned by the PR 1 overhaul plus the core protocol
+// round trips. A list entry matches the benchmark of the same name and any
+// of its sub-benchmarks. Editing this list is part of the baseline refresh
+// procedure documented in EXPERIMENTS.md.
+var hotPath = []string{
+	"BenchmarkCBCASTAsync",
+	"BenchmarkABCASTRoundTrip",
+	"BenchmarkGBCAST",
+	"BenchmarkGroupRPCOneReply",
+	"BenchmarkMarshal",
+	"BenchmarkCachedMarshalHit",
+	"BenchmarkAppendMarshalPooled",
+	"BenchmarkUnmarshal",
+	"BenchmarkUnmarshalInto",
+	"BenchmarkClone",
+	"BenchmarkAppendEncode",
+	"BenchmarkDecodeInto",
+	"BenchmarkTransportThroughput/batched",
+}
+
+// minUnits are the metric units aggregated by minimum across -count runs
+// (lower is better); every other unit is aggregated by maximum.
+var minUnits = map[string]bool{"ns/op": true, "B/op": true, "allocs/op": true}
+
+// Artifact is the JSON document benchjson reads and writes.
+type Artifact struct {
+	Schema     int                  `json:"schema"`
+	Go         string               `json:"go"`
+	GOOS       string               `json:"goos"`
+	GOARCH     string               `json:"goarch"`
+	Benchmarks map[string]Benchmark `json:"benchmarks"`
+}
+
+// Benchmark aggregates every run of one benchmark name.
+type Benchmark struct {
+	Runs    int                `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the parsed JSON artifact to this file (default stdout)")
+	compare := flag.Bool("compare", false, "compare two artifacts: benchjson -compare BASELINE CURRENT")
+	threshold := flag.Float64("threshold", 0.20, "relative regression that fails the comparison")
+	flag.Parse()
+
+	if *compare {
+		// The flag package stops at the first positional, so a trailing
+		// "-threshold 0.20" (the natural way to write the command) would
+		// otherwise be swallowed as positionals; rescue it here.
+		var paths []string
+		args := flag.Args()
+		for i := 0; i < len(args); i++ {
+			switch {
+			case args[i] == "-threshold" || args[i] == "--threshold":
+				if i+1 >= len(args) {
+					fatal(fmt.Errorf("-threshold needs a value"))
+				}
+				i++
+				v, err := strconv.ParseFloat(args[i], 64)
+				if err != nil {
+					fatal(fmt.Errorf("bad -threshold %q: %v", args[i], err))
+				}
+				*threshold = v
+			case strings.HasPrefix(args[i], "-threshold=") || strings.HasPrefix(args[i], "--threshold="):
+				v, err := strconv.ParseFloat(args[i][strings.IndexByte(args[i], '=')+1:], 64)
+				if err != nil {
+					fatal(fmt.Errorf("bad %s: %v", args[i], err))
+				}
+				*threshold = v
+			default:
+				paths = append(paths, args[i])
+			}
+		}
+		if len(paths) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare BASELINE CURRENT [-threshold 0.20]")
+			os.Exit(2)
+		}
+		base, err := readArtifact(paths[0])
+		if err != nil {
+			fatal(err)
+		}
+		cur, err := readArtifact(paths[1])
+		if err != nil {
+			fatal(err)
+		}
+		if !compareArtifacts(os.Stdout, base, cur, *threshold) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	art, err := parseBench(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fatal(err)
+	}
+	if len(art.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found on stdin"))
+	}
+	raw, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	raw = append(raw, '\n')
+	if *out == "" {
+		os.Stdout.Write(raw)
+		return
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(art.Benchmarks), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(2)
+}
+
+func readArtifact(path string) (*Artifact, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var art Artifact
+	if err := json.Unmarshal(raw, &art); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &art, nil
+}
+
+// parseBench extracts benchmark result lines from `go test -bench` output.
+// A result line is "BenchmarkName[-procs] <iterations> <value> <unit> ...",
+// with (value, unit) pairs repeating for -benchmem and ReportMetric output.
+func parseBench(sc *bufio.Scanner) (*Artifact, error) {
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	art := &Artifact{
+		Schema:     1,
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: make(map[string]Benchmark),
+	}
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // e.g. "BenchmarkFoo \t --- FAIL"
+		}
+		name := trimProcs(fields[0])
+		metrics := make(map[string]float64)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			metrics[fields[i+1]] = v
+		}
+		if len(metrics) == 0 {
+			continue
+		}
+		b, seen := art.Benchmarks[name]
+		if !seen {
+			b = Benchmark{Metrics: metrics}
+		} else {
+			for unit, v := range metrics {
+				old, ok := b.Metrics[unit]
+				switch {
+				case !ok:
+					b.Metrics[unit] = v
+				case minUnits[unit] && v < old:
+					b.Metrics[unit] = v
+				case !minUnits[unit] && v > old:
+					b.Metrics[unit] = v
+				}
+			}
+		}
+		b.Runs++
+		art.Benchmarks[name] = b
+	}
+	return art, sc.Err()
+}
+
+// trimProcs strips the trailing -GOMAXPROCS suffix from a benchmark name
+// ("BenchmarkFoo/sub-8" -> "BenchmarkFoo/sub").
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// isHotPath reports whether a benchmark name belongs to the gated set.
+func isHotPath(name string) bool {
+	for _, h := range hotPath {
+		if name == h || strings.HasPrefix(name, h+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// compareArtifacts prints a comparison table for the hot-path benchmarks and
+// reports whether the current artifact passes the gate.
+func compareArtifacts(w *os.File, base, cur *Artifact, threshold float64) bool {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		if isHotPath(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	pass := true
+	fmt.Fprintf(w, "%-44s %14s %14s %8s  %s\n", "hot-path benchmark", "baseline", "current", "ratio", "verdict")
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			// A gated benchmark that produced no result (renamed, removed, or
+			// its package's bench run crashed) fails the comparison: passing
+			// silently would disable its regression gate.
+			fmt.Fprintf(w, "%-44s MISSING from the current run (renamed, removed, or crashed? refresh the baseline)\n", name)
+			pass = false
+			continue
+		}
+		for _, unit := range []string{"ns/op", "allocs/op"} {
+			bv, bok := b.Metrics[unit]
+			cv, cok := c.Metrics[unit]
+			if !bok || !cok {
+				continue
+			}
+			verdict := "ok"
+			if cv > bv*(1+threshold) {
+				verdict = "REGRESSION"
+				pass = false
+			}
+			ratio := "n/a"
+			if bv > 0 {
+				ratio = fmt.Sprintf("%.2fx", cv/bv)
+			}
+			fmt.Fprintf(w, "%-44s %14.1f %14.1f %8s  %s (%s)\n", name, bv, cv, ratio, verdict, unit)
+		}
+	}
+	if pass {
+		fmt.Fprintf(w, "PASS: no hot-path benchmark regressed by more than %.0f%%\n", threshold*100)
+	} else {
+		fmt.Fprintf(w, "FAIL: hot-path regression beyond %.0f%% (refresh BENCH_baseline.json only with an explanation in EXPERIMENTS.md)\n", threshold*100)
+	}
+	return pass
+}

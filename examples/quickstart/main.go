@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"maps"
 	"sort"
 	"sync"
 	"time"
@@ -121,5 +122,52 @@ func main() {
 		fmt.Printf("member %d delivery log: %v\n", i, m.log)
 		m.mu.Unlock()
 	}
+
+	// The GBCAST marker is ordered with respect to every other broadcast:
+	// the set of messages delivered before it must be identical at every
+	// member. This is a pinned invariant, not a demo — the GBCAST flush
+	// completes or fences ABCASTs still in flight when the group wedges, so
+	// a concurrent ABCAST can never land on different sides of the marker at
+	// different sites (CI runs this program and fails on a violation).
+	const marker = "globally ordered marker"
+	markerAt := func(m *member) int {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		for i, b := range m.log {
+			if b == marker {
+				return i
+			}
+		}
+		return -1
+	}
+	// Wait for the marker itself first, so a slow delivery reads as the
+	// timeout it is, not as an ordering violation.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, m := range members {
+		for markerAt(m) < 0 {
+			if time.Now().After(deadline) {
+				log.Fatalf("marker not delivered at every member within 5s (a liveness problem, not an ordering violation)")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	var ref map[string]bool
+	for i, m := range members {
+		m.mu.Lock()
+		before := make(map[string]bool)
+		for _, b := range m.log {
+			if b == marker {
+				break
+			}
+			before[b] = true
+		}
+		m.mu.Unlock()
+		if i == 0 {
+			ref = before
+		} else if !maps.Equal(before, ref) {
+			log.Fatalf("marker invariant violated: member %d delivered %v before the marker, member 0 delivered %v", i, before, ref)
+		}
+	}
+	fmt.Println("marker invariant holds: every member delivered the same messages before the GBCAST marker")
 	fmt.Printf("cluster protocol counters: %+v\n", cluster.Counters())
 }

@@ -18,10 +18,13 @@ import "sort"
 // by the globally unique message id, the delivery order is identical at all
 // destinations, which is exactly the ABCAST guarantee.
 
-// TotalDelivery is one message released by the total-order queue.
+// TotalDelivery is one message released by the total-order queue, with the
+// final priority it was delivered at (the GBCAST flush reports it so other
+// sites can complete a straggler at the exact same final).
 type TotalDelivery struct {
-	ID      MsgID
-	Payload any
+	ID       MsgID
+	Payload  any
+	Priority uint64
 }
 
 // abPending is one message awaiting delivery at a destination.
@@ -100,7 +103,7 @@ func (q *TotalQueue) drain() []TotalDelivery {
 		}
 		delete(q.pending, head.id)
 		q.markDelivered(head.id)
-		out = append(out, TotalDelivery{ID: head.id, Payload: head.payload})
+		out = append(out, TotalDelivery{ID: head.id, Payload: head.payload, Priority: head.priority})
 	}
 }
 
@@ -133,6 +136,19 @@ func (q *TotalQueue) markDelivered(id MsgID) {
 // Delivered reports whether the queue has already delivered the message
 // (within its bounded memory).
 func (q *TotalQueue) Delivered(id MsgID) bool { return q.delivered[id] }
+
+// HeadBlocked returns the message at the head of the priority order when it
+// is still uncommitted — the entry whose missing final priority is blocking
+// every later committed delivery. The second result is false when the queue
+// is empty or its head is committed (and therefore about to drain). The
+// re-solicitation watchdog polls this to detect stragglers.
+func (q *TotalQueue) HeadBlocked() (MsgID, any, bool) {
+	head := q.minPending()
+	if head == nil || head.committed {
+		return MsgID{}, nil, false
+	}
+	return head.id, head.payload, true
+}
 
 // PendingCount returns the number of messages awaiting delivery.
 func (q *TotalQueue) PendingCount() int { return len(q.pending) }
@@ -180,12 +196,16 @@ func (q *TotalQueue) ForceCommit(id MsgID, payload any, final uint64) []TotalDel
 }
 
 // Discard removes a pending, uncommitted message (the fate of an ABCAST
-// whose sender failed before any member learned the final priority: the
-// "none" branch of the atomicity rule). Discarding an unknown id is a no-op.
-func (q *TotalQueue) Discard(id MsgID) {
+// whose sender failed before any member learned the final priority — the
+// "none" branch of the atomicity rule — or of one a GBCAST flush fences
+// behind a view change) and returns any messages its removal unblocks: a
+// committed entry queued behind the discarded head becomes deliverable the
+// moment the head disappears. Discarding an unknown id is a no-op.
+func (q *TotalQueue) Discard(id MsgID) []TotalDelivery {
 	if p, ok := q.pending[id]; ok && !p.committed {
 		delete(q.pending, id)
 	}
+	return q.drain()
 }
 
 // Clock returns the largest priority proposed or observed so far.

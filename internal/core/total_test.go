@@ -160,10 +160,11 @@ func TestForceCommitAndDiscard(t *testing.T) {
 	if len(out) != 0 {
 		t.Fatalf("force-commit delivered ahead of a smaller pending id: %v", out)
 	}
-	q.Discard(known)
-	out = q.ForceCommit(unknown, "recovered", 1)
+	// Discarding the blocking head unblocks — and delivers — the committed
+	// entry queued behind it.
+	out = q.Discard(known)
 	if len(out) != 1 || out[0].Payload != "recovered" {
-		t.Fatalf("force-commit after discard = %v", out)
+		t.Fatalf("discard did not unblock the committed entry behind it: %v", out)
 	}
 	// Force-committing an already delivered message is a no-op.
 	if out := q.ForceCommit(unknown, "dup", 1); len(out) != 0 {

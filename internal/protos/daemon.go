@@ -62,6 +62,13 @@ type Config struct {
 	// CallTimeout bounds internal request/response interactions (lookups,
 	// coordinator requests, proposal collection). Defaults to 5 s.
 	CallTimeout time.Duration
+	// ResolicitAfter is how long a member may hold an uncommitted ABCAST at
+	// the head of its total-order queue before it re-solicits the commit
+	// record from the initiator (rotating to other member sites if the
+	// initiator does not answer). Zero selects CallTimeout. A straggling
+	// proposal can therefore no longer block later committed deliveries
+	// until the next flush.
+	ResolicitAfter time.Duration
 	// DisableHeartbeats turns off the failure detector's periodic traffic;
 	// used by benchmarks that want quiet links.
 	DisableHeartbeats bool
@@ -146,6 +153,14 @@ type memberState struct {
 	// flush re-dissemination; when the original copy later drains from the
 	// causal queue it is suppressed so the member does not see it twice.
 	redelivered map[core.MsgID]bool
+
+	// Straggler tracking for the re-solicitation watchdog: the uncommitted
+	// message currently blocking the head of the member's total-order queue,
+	// when it started blocking, and how many re-solicitations have been sent
+	// for it (used to rotate the target away from an unreachable initiator).
+	blockedID    core.MsgID
+	blockedSince time.Time
+	resolicits   int
 }
 
 // groupState is the per-group state kept at every site hosting members.
@@ -168,6 +183,13 @@ type groupState struct {
 	heldPkts []heldPacket // data packets held while wedged
 	recent   map[core.MsgID]*msg.Message
 	order    []core.MsgID // insertion order of recent, for bounding
+
+	// recentPrio records, for ABCAST entries in recent, the final priority
+	// they were delivered at. Its lifetime is exactly the recent entry's, so
+	// a flush report's Recent line can always name the final a delivered
+	// straggler must be completed at elsewhere (the daemon-global abDone
+	// record churns across groups and may have evicted it).
+	recentPrio map[core.MsgID]uint64
 
 	// nonPrimary marks a copy of the group stranded in a minority partition:
 	// the acting coordinator could not reach a majority of the last agreed
@@ -214,7 +236,17 @@ type abSendState struct {
 	maxPrio uint64
 	packet  *msg.Message
 	done    bool
+
+	// attempt qualifies the phase-1/proposal exchange: a GBCAST flush that
+	// fences this ABCAST behind a view change restarts it with a higher
+	// attempt, and proposals stamped with an older attempt are ignored so the
+	// final priority is always the maximum over one coherent proposal round.
+	attempt int64
 }
+
+// abDoneLimit bounds the per-daemon memory of committed ABCAST final
+// priorities kept for re-solicitation answers.
+const abDoneLimit = 1024
 
 // pendingJoin remembers the state-transfer receiver callback registered when
 // a local process asked to join a group, so it can be attached to the member
@@ -246,6 +278,8 @@ type Daemon struct {
 	nextCall    int64
 	nextReqID   int64
 	pendingAb   map[core.MsgID]*abSendState
+	abDone      map[core.MsgID]uint64 // final priorities of applied ABCAST commits
+	abDoneOrder []core.MsgID          // insertion order of abDone, for bounding
 	pendingJoin map[joinKey]pendingJoin
 	siteWatch   []func(fdetect.Event)
 	primWatch   []func(addr.Address, bool) // primary-status transitions per group
@@ -255,6 +289,7 @@ type Daemon struct {
 	closed      bool
 
 	unwatchLinks func() // unregisters the heal-probe link watcher on Close
+	stopScan     chan struct{}
 
 	wg sync.WaitGroup
 }
@@ -266,6 +301,9 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = 5 * time.Second
+	}
+	if cfg.ResolicitAfter <= 0 {
+		cfg.ResolicitAfter = cfg.CallTimeout
 	}
 	// Fill unset transport parameters from the network defaults while
 	// keeping explicit overrides (the batching ablation sets only flags).
@@ -308,9 +346,11 @@ func New(cfg Config) (*Daemon, error) {
 		calls:       make(map[int64]chan *msg.Message),
 		callSite:    make(map[int64]addr.SiteID),
 		pendingAb:   make(map[core.MsgID]*abSendState),
+		abDone:      make(map[core.MsgID]uint64),
 		pendingJoin: make(map[joinKey]pendingJoin),
 		merging:     make(map[addr.Address]bool),
 		reqSerial:   make(map[addr.Address]*sync.Mutex),
+		stopScan:    make(chan struct{}),
 	}
 	d.ep = cfg.Network.AddSite(cfg.Site)
 	tr, err := transport.New(d.ep, trCfg, d.handleTransport)
@@ -346,6 +386,8 @@ func New(cfg Config) (*Daemon, error) {
 			d.sendHeartbeat(peer)
 		}
 	})
+	d.wg.Add(1)
+	go d.runResolicitScan()
 	return d, nil
 }
 
@@ -375,6 +417,7 @@ func (d *Daemon) Close() {
 	}
 	d.mu.Unlock()
 
+	close(d.stopScan)
 	if d.unwatchLinks != nil {
 		d.unwatchLinks()
 	}
@@ -594,6 +637,13 @@ func (d *Daemon) newReqID() int64 {
 	return (int64(d.site)<<16|int64(d.cfg.Incarnation)&0xffff)<<32 | d.nextReqID&0xffffffff
 }
 
+// errSiteFailed aborts pending calls to a site the failure detector declared
+// dead. It travels as the fErr text of the injected response and is
+// reconstructed by wireError, so callers can tell a detector abort (the
+// request is still queued in the reliable transport and may yet be
+// delivered) from an explicit refusal by the remote site.
+var errSiteFailed = errors.New("protos: site failed")
+
 // failCallsTo aborts every pending call addressed to a site the failure
 // detector has declared dead, so callers (coordinator requests, lookups)
 // retry against a successor immediately instead of waiting out the call
@@ -612,7 +662,7 @@ func (d *Daemon) failCallsTo(s addr.SiteID) {
 	d.mu.Unlock()
 	for _, ch := range chans {
 		m := msg.New()
-		m.PutString(fErr, "site failed")
+		m.PutString(fErr, errSiteFailed.Error())
 		select {
 		case ch <- m:
 		default:
@@ -664,6 +714,7 @@ func (d *Daemon) call(to addr.SiteID, pt byte, req *msg.Message) (*msg.Message, 
 func wireError(format, text string) error {
 	for _, sentinel := range []error{
 		ErrNonPrimary, ErrUnknownGroup, ErrNotMember, ErrUnknownProc, ErrDeadProcess, ErrClosed,
+		errSiteFailed,
 	} {
 		if text == sentinel.Error() {
 			return sentinel
@@ -708,8 +759,10 @@ func (d *Daemon) handleTransport(from addr.SiteID, raw []byte) {
 		d.handleGbRequest(from, p)
 	case ptGbPrepare:
 		d.handleGbPrepare(from, p)
-	case ptGbAck, ptGbDone, ptLookupResp, ptError:
+	case ptGbAck, ptGbDone, ptLookupResp, ptError, ptRelayAck:
 		d.respond(p.GetInt(fCall, 0), p)
+	case ptAbResolicit:
+		d.handleAbResolicit(from, p)
 	case ptGbCommit:
 		d.handleGbCommit(from, p)
 	case ptLookup:

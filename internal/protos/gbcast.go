@@ -435,16 +435,40 @@ func (d *Daemon) gbReply(w *gbWork, resp *msg.Message, errText string) {
 }
 
 // reconcile merges the member sites' pending reports into the rebroadcast
-// instructions carried by the commit.
+// instructions carried by the commit. Every in-flight ABCAST the reports
+// surface is resolved to one side of the GBCAST point (the paper treats
+// in-progress ABCASTs as part of the flushed state):
+//
+//   - committed at any member: force-commit everywhere at the final priority
+//     (the "all" branch of the atomicity rule);
+//   - already delivered at some member but still pending uncommitted
+//     elsewhere: complete everywhere at the final priority the delivering
+//     site recorded (carried by its Recent report entry);
+//   - uncommitted from a failed sender: discard everywhere (the "none"
+//     branch);
+//   - uncommitted from a live sender, present in every report: complete —
+//     every member site has proposed, so the maximum reported priority
+//     dominates every proposal and the flush commits it before the view
+//     change at every site (the initiator's own round is retired when the
+//     commit reaches it);
+//   - uncommitted from a live sender, missing from some report: fence — the
+//     message cannot be completed on this side of the view change, so every
+//     site discards its phase-1 state and the initiator restarts the
+//     protocol under the new view, delivering it after the GBCAST point at
+//     every site.
 func reconcile(reports map[addr.SiteID]pendingReport, removingFailed bool, removed []addr.Address) pendingReport {
 	type abAgg struct {
 		committed bool
-		priority  uint64
+		priority  uint64 // final priority when committed
+		maxProp   uint64 // highest proposed priority when uncommitted
 		packet    *msg.Message
+		seen      int  // member sites whose report lists the entry
+		initiator bool // some reporting site still holds the initiator round
 	}
 	abs := make(map[core.MsgID]*abAgg)
 	recentCount := make(map[core.MsgID]int)
 	recentPkt := make(map[core.MsgID]*msg.Message)
+	recentFinal := make(map[core.MsgID]uint64)
 	removedSet := make(map[addr.Address]bool)
 	for _, p := range removed {
 		removedSet[p.Base()] = true
@@ -457,6 +481,10 @@ func reconcile(reports map[addr.SiteID]pendingReport, removingFailed bool, remov
 				agg = &abAgg{}
 				abs[a.ID] = agg
 			}
+			agg.seen++
+			if a.Init {
+				agg.initiator = true
+			}
 			if a.Packet != nil && agg.packet == nil {
 				agg.packet = a.Packet
 			}
@@ -465,6 +493,8 @@ func reconcile(reports map[addr.SiteID]pendingReport, removingFailed bool, remov
 				if a.Priority > agg.priority {
 					agg.priority = a.Priority
 				}
+			} else if a.Priority > agg.maxProp {
+				agg.maxProp = a.Priority
 			}
 		}
 		for _, r := range rep.Recent {
@@ -472,25 +502,57 @@ func reconcile(reports map[addr.SiteID]pendingReport, removingFailed bool, remov
 			if r.Packet != nil && recentPkt[r.ID] == nil {
 				recentPkt[r.ID] = r.Packet
 			}
+			if r.Priority > recentFinal[r.ID] {
+				recentFinal[r.ID] = r.Priority
+			}
 		}
 	}
 
 	var out pendingReport
+	nSites := len(reports)
 	for id, agg := range abs {
 		switch {
 		case agg.committed:
 			out.Abcasts = append(out.Abcasts, abPendingWire{
 				ID: id, Committed: true, Priority: agg.priority, Packet: agg.packet,
 			})
+		case recentFinal[id] != 0:
+			// Delivered at some member site, still an uncommitted pending
+			// entry here and there: complete it everywhere at the exact
+			// final priority the delivering site used (its commit record
+			// travelled in the Recent report). Left unresolved, the entry
+			// would block completions driven below until its own in-flight
+			// commit thawed — after the view change, on the wrong side.
+			out.Abcasts = append(out.Abcasts, abPendingWire{
+				ID: id, Committed: true, Priority: recentFinal[id], Packet: agg.packet,
+			})
 		case removingFailed && removedSet[id.Sender.Base()]:
 			// The sender failed and no member learned a final priority:
 			// the "none" branch of the atomicity rule — discard everywhere.
 			out.Abcasts = append(out.Abcasts, abPendingWire{ID: id, Committed: false})
+		case agg.seen == nSites && agg.packet != nil:
+			// Complete: drive the in-flight ABCAST to commit before the view
+			// change. Every report contributed a proposal, so the maximum
+			// dominates anything a member has used or seen.
+			out.Abcasts = append(out.Abcasts, abPendingWire{
+				ID: id, Committed: true, Priority: agg.maxProp, Packet: agg.packet,
+			})
+		case recentCount[id] == 0 && agg.initiator:
+			// Fence behind the new view — but only while some reporting site
+			// still holds the initiator round, which guarantees the restart
+			// that re-delivers the message. Without that guarantee the fence
+			// discard could lose a message outright (e.g. one delivered at a
+			// site whose bounded recent buffer has since evicted it, with
+			// the commit still in flight here); such a straggler is left
+			// pending for its own commit or the re-solicitation watchdog to
+			// resolve. A message some member already delivered is likewise
+			// never fenced: the Recent re-dissemination carries it to
+			// everyone before the view change instead.
+			out.Fenced = append(out.Fenced, id)
 		}
 	}
 	// A message delivered at some member sites but not all of them must be
 	// re-disseminated so every survivor delivers it before the GBCAST point.
-	nSites := len(reports)
 	for id, count := range recentCount {
 		if count < nSites {
 			out.Recent = append(out.Recent, recentWire{ID: id, Packet: recentPkt[id]})
@@ -541,27 +603,66 @@ func (d *Daemon) unwedgeStale(gid addr.Address, seq uint64) {
 }
 
 // buildReportLocked summarises the pending and recently delivered messages
-// of every local member. Caller holds d.mu.
+// of every local member, plus the phase-2 state of any ABCAST this site is
+// initiating (the priorities collected so far), so a GBCAST flush sees every
+// in-flight ABCAST the site knows about. For an entry pending at several
+// local members the report carries the highest proposed priority (the final
+// priority must dominate every proposal); a committed entry reports its
+// final priority. Caller holds d.mu.
 func (d *Daemon) buildReportLocked(gs *groupState) pendingReport {
 	var rep pendingReport
-	seenAb := make(map[core.MsgID]bool)
+	idx := make(map[core.MsgID]int)
 	for _, ms := range gs.members {
 		for _, p := range ms.total.Pending() {
-			if seenAb[p.ID] {
-				continue
-			}
-			seenAb[p.ID] = true
 			var pkt *msg.Message
 			if m, ok := p.Payload.(*msg.Message); ok {
 				pkt = m
 			}
-			rep.Abcasts = append(rep.Abcasts, abPendingWire{
-				ID: p.ID, Committed: p.Committed, Priority: p.Priority, Packet: pkt,
-			})
+			i, ok := idx[p.ID]
+			if !ok {
+				idx[p.ID] = len(rep.Abcasts)
+				rep.Abcasts = append(rep.Abcasts, abPendingWire{
+					ID: p.ID, Committed: p.Committed, Priority: p.Priority, Packet: pkt,
+				})
+				continue
+			}
+			e := &rep.Abcasts[i]
+			switch {
+			case p.Committed && !e.Committed:
+				e.Committed = true
+				e.Priority = p.Priority
+			case p.Committed == e.Committed && p.Priority > e.Priority:
+				e.Priority = p.Priority
+			}
+			if e.Packet == nil {
+				e.Packet = pkt
+			}
 		}
 	}
+	for id, st := range d.pendingAb {
+		if st.group != gs.view.Group {
+			continue
+		}
+		if i, ok := idx[id]; ok {
+			e := &rep.Abcasts[i]
+			if !e.Committed && st.maxPrio > e.Priority {
+				e.Priority = st.maxPrio
+			}
+			if e.Packet == nil {
+				e.Packet = st.packet
+			}
+			e.Init = true
+			continue
+		}
+		idx[id] = len(rep.Abcasts)
+		rep.Abcasts = append(rep.Abcasts, abPendingWire{ID: id, Priority: st.maxPrio, Packet: st.packet, Init: true})
+	}
 	for _, id := range gs.order {
-		rep.Recent = append(rep.Recent, recentWire{ID: id, Packet: gs.recent[id]})
+		prio := gs.recentPrio[id]
+		if prio == 0 {
+			prio = d.abDone[id]
+		}
+		rep.Recent = append(rep.Recent, recentWire{ID: id, Packet: gs.recent[id], Priority: prio})
 	}
 	return rep
 }
@@ -738,7 +839,7 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 		if rc.Packet == nil || gs.recent[rc.ID] != nil {
 			continue
 		}
-		d.recordRecentLocked(gs, rc.ID, rc.Packet)
+		d.recordRecentLocked(gs, rc.ID, rc.Packet, rc.Priority)
 		pv := core.ViewID(rc.Packet.GetInt(fViewID, 0))
 		for _, ms := range gs.members {
 			if pv != 0 && pv < ms.joinedView {
@@ -751,30 +852,44 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 			d.deliverDataLocked(ms, rc.Packet)
 		}
 	}
+	// Fenced ABCASTs next: the message could not be completed on this side
+	// of the view change, so every member discards its phase-1 state; if
+	// this site initiated one, its round is restarted under the new view
+	// below (after the membership change installs it), so every member
+	// delivers the message after the GBCAST point. The discards run before
+	// the completions driven underneath: a driven commit must not stay
+	// blocked behind an entry the flush is about to fence (the site-local
+	// queue would deliver it after the GBCAST point while other sites
+	// deliver it before — the very divergence this protocol closes).
+	var fenced []*abSendState
+	for _, id := range rec.Fenced {
+		for _, ms := range gs.members {
+			d.deliverTotalLocked(gs, ms, ms.total.Discard(id))
+		}
+		if st, ok := d.pendingAb[id]; ok && st.group == gid.Base() {
+			fenced = append(fenced, st)
+		}
+	}
 	for _, ab := range rec.Abcasts {
+		if ab.Committed {
+			d.recordAbDoneLocked(ab.ID, ab.Priority)
+		}
 		for _, ms := range gs.members {
 			if ab.Committed {
 				var payload any = ab.Packet
-				for _, del := range ms.total.ForceCommit(ab.ID, payload, ab.Priority) {
-					if ms.redelivered[del.ID] {
-						// Already handed to this member by the Recent
-						// re-dissemination above; the queue state is
-						// advanced, only the duplicate callback is
-						// suppressed.
-						delete(ms.redelivered, del.ID)
-						continue
-					}
-					if pkt, ok := del.Payload.(*msg.Message); ok && pkt != nil {
-						if pv := core.ViewID(pkt.GetInt(fViewID, 0)); pv != 0 && pv < ms.joinedView {
-							continue // sent before this member joined
-						}
-						d.recordRecentLocked(gs, del.ID, pkt)
-						d.deliverDataLocked(ms, pkt)
-					}
-				}
+				d.deliverTotalLocked(gs, ms, ms.total.ForceCommit(ab.ID, payload, ab.Priority))
 			} else {
-				ms.total.Discard(ab.ID)
+				d.deliverTotalLocked(gs, ms, ms.total.Discard(ab.ID))
 			}
+		}
+		// The flush resolved this in-flight ABCAST (completed or discarded);
+		// if this site initiated it, its own protocol round is over. The
+		// retire keeps the sender's outstanding count (the Flush API) exact
+		// and stops the watchdog from fanning out a conflicting commit.
+		if st, ok := d.pendingAb[ab.ID]; ok && st.group == gid.Base() {
+			st.done = true
+			delete(d.pendingAb, ab.ID)
+			d.releaseAbSenderLocked(st)
 		}
 	}
 
@@ -794,6 +909,31 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 		wrong = d.applyViewChangeLocked(gs, newView, kind, procs, wantState)
 	}
 
+	// Restart fenced ABCASTs this site initiated: a fresh protocol round
+	// (higher attempt — stale proposals to the old round are filtered) under
+	// the view just installed. Replacing the pending state under the same
+	// lock closes the race with the old round's watchdog: its deferred
+	// completion finds the state replaced and stands down. A site whose last
+	// member was removed by this very change retires the round instead — the
+	// message is dropped, exactly as if its sender had failed.
+	var restarts []*abSendState
+	var restartPkts []*msg.Message
+	for _, st := range fenced {
+		delete(d.pendingAb, st.id)
+		st.done = true
+		if len(gs.members) == 0 {
+			d.releaseAbSenderLocked(st)
+			continue
+		}
+		pkt := st.packet.Clone()
+		pkt.PutInt(fViewID, int64(gs.view.ID))
+		pkt.PutInt(fAttempt, st.attempt+1)
+		nst := d.initiateAbcastLocked(gs, st.id, pkt, nil, st.attempt+1)
+		nst.sender = st.sender // carry the Flush accounting without re-counting
+		restarts = append(restarts, nst)
+		restartPkts = append(restartPkts, pkt)
+	}
+
 	// Step 3: unwedge and reprocess any data packets held during the flush.
 	gs.wedged = false
 	held := gs.heldPkts
@@ -808,6 +948,9 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 
 	for _, h := range held {
 		d.dispatchHeld(h)
+	}
+	for i, nst := range restarts {
+		d.transmitAbcast(nst, restartPkts[i])
 	}
 	d.removeGhosts(gid.Base(), ghosts)
 	for _, w := range wrong {

@@ -1,6 +1,7 @@
 package protos
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -8,6 +9,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/msg"
 )
+
+// errRelayHeld reports that a relayed multicast was parked while its group is
+// wedged by a GBCAST flush; it is re-dispatched (and acknowledged) when the
+// flush completes, so no acknowledgement is sent yet.
+var errRelayHeld = errors.New("protos: relay held during flush")
 
 // fRelay marks a group multicast submitted by a non-member sender; such
 // multicasts are routed to the group's coordinator site, which fans them out
@@ -198,7 +204,7 @@ func (d *Daemon) sendGroupMulticast(sender addr.Address, lp *localProc, proto Pr
 			return nil
 		case ABCAST:
 			pkt := d.buildDataPacket(ABCAST, gid, gs.view.ID, id, sender, gs.view.RankOf(sender), entry, payload)
-			st := d.initiateAbcastLocked(gs, id, pkt, lp)
+			st := d.initiateAbcastLocked(gs, id, pkt, lp, 0)
 			d.mu.Unlock()
 			d.transmitAbcast(st, pkt)
 			return nil
@@ -236,7 +242,7 @@ func (d *Daemon) sendMemberCbcastLocked(gs *groupState, ms *memberState, sender,
 	pkt := d.buildDataPacket(CBCAST, gid, gs.view.ID, id, sender, rank, entry, payload)
 	putVT(pkt, vt)
 	d.counters.CBCASTs++
-	d.recordRecentLocked(gs, id, pkt)
+	d.recordRecentLocked(gs, id, pkt, 0)
 
 	// Deliver to the sender itself immediately.
 	d.deliverDataLocked(ms, pkt)
@@ -267,8 +273,12 @@ func (d *Daemon) sendMemberCbcastLocked(gs *groupState, ms *memberState, sender,
 // relayExternalMulticast handles a group multicast whose sender is not a
 // member of the group (or whose site hosts no members): the message is
 // forwarded to the group's coordinator site, which fans it out using its
-// authoritative view. FIFO order per sender is preserved by a per-sender
-// sequence number assigned here.
+// authoritative view and acknowledges the relay. A refusal — the coordinator
+// copy is wedged in a non-primary partition, or the addressed site no longer
+// hosts the group — travels back as the sentinel error instead of being
+// silently dropped; a stale cached view is refreshed and the relay retried
+// once. FIFO order per sender is preserved by a per-sender sequence number
+// assigned here.
 func (d *Daemon) relayExternalMulticast(sender addr.Address, lp *localProc, proto Protocol, gid addr.Address, id core.MsgID, entry addr.EntryID, payload *msg.Message) error {
 	// View resolution happens before any FIFO sequence is consumed: it is
 	// the step most likely to fail (remote lookup of an unknown or
@@ -283,54 +293,101 @@ func (d *Daemon) relayExternalMulticast(sender addr.Address, lp *localProc, prot
 		}
 		view = v
 	}
-	d.mu.Lock()
-	coord := d.actingCoordinator(view)
-	d.mu.Unlock()
-	if coord.IsNil() {
-		return ErrGroupVanished
+	if proto == CBCAST {
+		// Serialize this sender's relays across the acknowledged exchange:
+		// a refused relay's sequence number can only be rolled back while no
+		// later number has been handed out.
+		lp.relayMu.Lock()
+		defer lp.relayMu.Unlock()
 	}
+	for attempt := 0; ; attempt++ {
+		d.mu.Lock()
+		coord := d.actingCoordinator(view)
+		d.mu.Unlock()
+		if coord.IsNil() {
+			return ErrGroupVanished
+		}
 
-	pkt := d.buildDataPacket(proto, gid, view.ID, id, sender, -1, entry, payload)
-	pkt.PutInt(fRelay, 1)
+		pkt := d.buildDataPacket(proto, gid, view.ID, id, sender, -1, entry, payload)
+		pkt.PutInt(fRelay, 1)
 
-	if proto != CBCAST {
-		// ABCAST ordering is established by the priority agreement, so it
-		// never consumes a FIFO number (a gap would stall the receivers'
-		// expected sequence). ABCAST relays are counted by the coordinator
-		// that initiates the two-phase protocol.
-		if coord.Site == d.site {
-			d.relayMulticast(d.site, pkt)
+		var err error
+		if proto != CBCAST {
+			// ABCAST ordering is established by the priority agreement, so it
+			// never consumes a FIFO number (a gap would stall the receivers'
+			// expected sequence). ABCAST relays are counted by the coordinator
+			// that initiates the two-phase protocol.
+			err = d.relayCall(coord.Site, pkt)
+		} else {
+			d.mu.Lock()
+			lp.extSeq[gid]++
+			extSeq := lp.extSeq[gid]
+			d.counters.CBCASTs++
+			d.mu.Unlock()
+			pkt.PutInt(fExtSeq, int64(extSeq))
+			err = d.relayCall(coord.Site, pkt)
+			if err != nil && !errors.Is(err, ErrTimeout) && !errors.Is(err, errSiteFailed) {
+				// An explicit refusal (or a send failure): no receiver
+				// consumed the sequence, so roll the counter back. On a
+				// timeout or a detector abort the relay is still queued in
+				// the reliable transport and may yet be delivered, so its
+				// number must stand.
+				d.mu.Lock()
+				lp.extSeq[gid]--
+				d.counters.CBCASTs--
+				d.mu.Unlock()
+			}
+		}
+		if err == nil {
 			return nil
 		}
-		return d.sendPacket(coord.Site, ptData, pkt)
-	}
-
-	// CBCAST: assign the per-sender FIFO sequence only now that the relay
-	// is committed to the wire, and roll it back if the send fails.
-	lp.relayMu.Lock()
-	defer lp.relayMu.Unlock()
-	d.mu.Lock()
-	lp.extSeq[gid]++
-	extSeq := lp.extSeq[gid]
-	d.counters.CBCASTs++
-	d.mu.Unlock()
-	pkt.PutInt(fExtSeq, int64(extSeq))
-	if coord.Site == d.site {
-		d.relayMulticast(d.site, pkt)
-		return nil
-	}
-	if err := d.sendPacket(coord.Site, ptData, pkt); err != nil {
-		d.mu.Lock()
-		lp.extSeq[gid]-- // relayMu guarantees no later number was handed out
-		d.mu.Unlock()
+		if errors.Is(err, ErrUnknownGroup) && attempt == 0 {
+			// The cached view is stale: the addressed site no longer hosts
+			// the group. Refresh from the sites that do and retry once.
+			if v, rerr := d.refreshView(gid); rerr == nil {
+				view = v
+				continue
+			}
+		}
 		return err
 	}
-	return nil
+}
+
+// relayCall ships a relayed multicast to the coordinator site and waits for
+// its acknowledgement. A remote relay parked by a flush wedge counts as
+// accepted — it is re-dispatched when the flush completes and acknowledged
+// then. A local relay instead waits the wedge out (mirroring the member
+// send path): if the caller were told "accepted" while the packet sat in
+// heldPkts and the flush then wedged the copy non-primary, the refusal
+// would have nobody to report to and the consumed FIFO sequence would
+// stall every later relay from this sender.
+func (d *Daemon) relayCall(site addr.SiteID, pkt *msg.Message) error {
+	if site == d.site {
+		for {
+			err := d.relayMulticast(d.site, pkt, false)
+			if !errors.Is(err, errRelayHeld) {
+				return err
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	_, err := d.call(site, ptData, pkt)
+	return err
 }
 
 // relayMulticast runs at the coordinator site: it fans an external sender's
-// multicast out to the group using the current view.
-func (d *Daemon) relayMulticast(from addr.SiteID, pkt *msg.Message) {
+// multicast out to the group using the current view. A refusal is returned
+// to the caller (and, for a relay that arrived over the wire, acknowledged
+// back to the sending daemon by handleData) instead of silently dropping the
+// message: ErrUnknownGroup when this site does not host the group — the
+// sender's cached view was stale — and ErrNonPrimary when this copy is
+// stranded read-only in a minority partition and must not fan anything out
+// under its stale (possibly split-brain) view. While the group is wedged by
+// a flush the relay returns errRelayHeld; with park set the packet is also
+// parked in heldPkts for re-dispatch after the flush (the remote-relay
+// path, whose acknowledgement is deferred with it), without park the caller
+// retries (the local path, which must see the post-flush outcome itself).
+func (d *Daemon) relayMulticast(from addr.SiteID, pkt *msg.Message, park bool) error {
 	gid := pkt.GetAddress(fGroup)
 	proto := Protocol(pkt.GetInt(fProto, 0))
 
@@ -338,21 +395,22 @@ func (d *Daemon) relayMulticast(from addr.SiteID, pkt *msg.Message) {
 	gs, ok := d.groups[gid.Base()]
 	if !ok {
 		d.mu.Unlock()
-		return
+		return ErrUnknownGroup
 	}
 	if gs.wedged {
-		gs.heldPkts = append(gs.heldPkts, heldPacket{from, ptData, pkt})
+		if park {
+			gs.heldPkts = append(gs.heldPkts, heldPacket{from, ptData, pkt})
+		}
 		d.mu.Unlock()
-		return
+		return errRelayHeld
 	}
 	if gs.nonPrimary {
-		// This site's copy is stranded in a minority partition; it must not
-		// fan a relay out under its stale (possibly split-brain) view.
 		d.mu.Unlock()
-		return
+		return ErrNonPrimary
 	}
 	fanout := pkt.Clone()
 	fanout.Delete(fRelay)
+	fanout.Delete(fCall)
 	id := getMsgID(pkt)
 
 	switch proto {
@@ -364,12 +422,14 @@ func (d *Daemon) relayMulticast(from addr.SiteID, pkt *msg.Message) {
 			d.fanoutRaw(sites, raw)
 		}
 	case ABCAST:
-		st := d.initiateAbcastLocked(gs, id, fanout, nil)
+		st := d.initiateAbcastLocked(gs, id, fanout, nil, 0)
 		d.mu.Unlock()
 		d.transmitAbcast(st, fanout)
 	default:
 		d.mu.Unlock()
+		return ErrBadProtocol
 	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -377,8 +437,9 @@ func (d *Daemon) relayMulticast(from addr.SiteID, pkt *msg.Message) {
 
 // initiateAbcastLocked sets up the initiator-side state for one ABCAST and
 // performs the local phase-1 proposals. Caller holds d.mu and must call
-// transmitAbcast afterwards.
-func (d *Daemon) initiateAbcastLocked(gs *groupState, id core.MsgID, pkt *msg.Message, senderLP *localProc) *abSendState {
+// transmitAbcast afterwards. attempt is 0 for a fresh ABCAST and counts up
+// when a GBCAST flush fences the message and restarts it.
+func (d *Daemon) initiateAbcastLocked(gs *groupState, id core.MsgID, pkt *msg.Message, senderLP *localProc, attempt int64) *abSendState {
 	maxPrio := uint64(0)
 	for _, ms := range gs.members {
 		if p := ms.total.Propose(id, pkt); p > maxPrio {
@@ -391,6 +452,7 @@ func (d *Daemon) initiateAbcastLocked(gs *groupState, id core.MsgID, pkt *msg.Me
 		waiting: make(map[addr.SiteID]bool),
 		maxPrio: maxPrio,
 		packet:  pkt,
+		attempt: attempt,
 	}
 	st.targets = append(st.targets, d.site)
 	for _, s := range gs.view.SitesOf() {
@@ -405,7 +467,11 @@ func (d *Daemon) initiateAbcastLocked(gs *groupState, id core.MsgID, pkt *msg.Me
 		senderLP.outstanding++
 		st.sender = senderLP.addr
 	}
-	d.counters.ABCASTs++
+	if attempt == 0 {
+		// A fence restart re-runs the protocol for a message already counted
+		// when it was first initiated.
+		d.counters.ABCASTs++
+	}
 	return st
 }
 
@@ -449,13 +515,17 @@ func (d *Daemon) transmitAbcast(st *abSendState, pkt *msg.Message) {
 	})
 }
 
-// handleAbPropose processes a phase-1 response at the initiator.
+// handleAbPropose processes a phase-1 response at the initiator. Proposals
+// carry the attempt number of the phase-1 packet they answer; a response to
+// a previous attempt (sent before a GBCAST flush fenced and restarted the
+// ABCAST) is ignored, so the final priority is always the maximum over one
+// coherent proposal round.
 func (d *Daemon) handleAbPropose(from addr.SiteID, p *msg.Message) {
 	id := getMsgID(p)
 	prio := uint64(p.GetInt(fPriority, 0))
 	d.mu.Lock()
 	st, ok := d.pendingAb[id]
-	if !ok {
+	if !ok || p.GetInt(fAttempt, 0) != st.attempt {
 		d.mu.Unlock()
 		return
 	}
@@ -477,17 +547,43 @@ func (d *Daemon) handleAbPropose(from addr.SiteID, p *msg.Message) {
 // proposal for an ABCAST.
 func (d *Daemon) finishAbcast(st *abSendState) { d.completeAbcast(st) }
 
+// releaseAbSenderLocked credits the sending process's outstanding-ABCAST
+// count when a protocol round ends (completed, retired by a flush, or
+// dropped with its group): the Flush API blocks on this count, so every
+// path that ends a round must release it exactly once. Caller holds d.mu.
+func (d *Daemon) releaseAbSenderLocked(st *abSendState) {
+	if st.sender.IsNil() {
+		return
+	}
+	if lp, ok := d.procs[st.sender.Base()]; ok && lp.outstanding > 0 {
+		lp.outstanding--
+	}
+}
+
 // completeAbcast sends phase 2 (the final priority) to every destination
-// site and applies it locally.
+// site and applies it locally. While the local group copy is wedged by a
+// GBCAST flush the completion is deferred: the flush owns the fate of every
+// in-flight ABCAST (it either drives the commit itself or fences the message
+// behind the new view), and a commit fanned out mid-flush would be held at
+// every wedged site and then discarded, losing the message. The deferred
+// retry finds the state retired (flush committed it), replaced (flush fenced
+// and restarted it), or still its own, in which case it proceeds normally.
 func (d *Daemon) completeAbcast(st *abSendState) {
 	d.mu.Lock()
+	if d.pendingAb[st.id] != st {
+		// Retired by a flush's drive branch, or restarted by its fence
+		// branch; either way this protocol round is over.
+		d.mu.Unlock()
+		return
+	}
+	if gs, ok := d.groups[st.group]; ok && gs.wedged && !d.closed {
+		d.mu.Unlock()
+		time.AfterFunc(2*time.Millisecond, func() { d.completeAbcast(st) })
+		return
+	}
 	delete(d.pendingAb, st.id)
 	final := st.maxPrio
-	if !st.sender.IsNil() {
-		if lp, ok := d.procs[st.sender.Base()]; ok && lp.outstanding > 0 {
-			lp.outstanding--
-		}
-	}
+	d.releaseAbSenderLocked(st)
 	targets := append([]addr.SiteID(nil), st.targets...)
 	gid := st.group
 	d.mu.Unlock()
@@ -520,22 +616,196 @@ func (d *Daemon) handleAbCommit(from addr.SiteID, p *msg.Message) {
 		d.mu.Unlock()
 		return
 	}
+	d.recordAbDoneLocked(id, final)
 	for _, ms := range gs.members {
-		for _, del := range ms.total.Commit(id, final) {
-			if ms.redelivered[del.ID] {
-				// A GBCAST flush already re-disseminated this message to the
-				// member (its commit was in flight when the group wedged);
-				// the late commit only advances the queue state.
-				delete(ms.redelivered, del.ID)
+		d.deliverTotalLocked(gs, ms, ms.total.Commit(id, final))
+	}
+	d.mu.Unlock()
+}
+
+// deliverTotalLocked hands messages drained from a member's total-order
+// queue to the member. A message a GBCAST flush already re-disseminated to
+// the member is suppressed (the drain only advances the queue state), and a
+// message sent before the member joined is skipped — its state-transfer cut
+// covers it. Caller holds d.mu.
+func (d *Daemon) deliverTotalLocked(gs *groupState, ms *memberState, dels []core.TotalDelivery) {
+	for _, del := range dels {
+		if ms.redelivered[del.ID] {
+			delete(ms.redelivered, del.ID)
+			continue
+		}
+		pkt, ok := del.Payload.(*msg.Message)
+		if !ok || pkt == nil {
+			continue
+		}
+		if pv := core.ViewID(pkt.GetInt(fViewID, 0)); pv != 0 && pv < ms.joinedView {
+			continue
+		}
+		d.recordRecentLocked(gs, del.ID, pkt, del.Priority)
+		d.deliverDataLocked(ms, pkt)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Straggler re-solicitation
+
+// recordAbDoneLocked remembers the final priority of an applied ABCAST
+// commit (bounded memory), so this site can answer a re-solicitation for it
+// even after the initiator is gone. Caller holds d.mu.
+func (d *Daemon) recordAbDoneLocked(id core.MsgID, final uint64) {
+	if _, ok := d.abDone[id]; ok {
+		return
+	}
+	d.abDone[id] = final
+	d.abDoneOrder = append(d.abDoneOrder, id)
+	if len(d.abDoneOrder) > abDoneLimit {
+		old := d.abDoneOrder[0]
+		d.abDoneOrder = d.abDoneOrder[1:]
+		delete(d.abDone, old)
+	}
+}
+
+// handleAbResolicit answers a member site stuck behind an uncommitted
+// straggler at the head of its total-order queue: if this site has applied
+// the commit (or completed the protocol as its initiator), it re-sends the
+// commit record. While the protocol is genuinely still in progress the
+// request is ignored — the commit will arrive on its own — and an unknown id
+// is left for the next GBCAST flush to resolve.
+func (d *Daemon) handleAbResolicit(from addr.SiteID, p *msg.Message) {
+	gid := p.GetAddress(fGroup)
+	id := getMsgID(p)
+	d.mu.Lock()
+	final, done := d.abDone[id]
+	d.mu.Unlock()
+	if !done {
+		return
+	}
+	commit := msg.New()
+	commit.PutAddress(fGroup, gid.Base())
+	putMsgID(commit, id)
+	commit.PutInt(fPriority, int64(final))
+	_ = d.sendPacket(from, ptAbCommit, commit)
+}
+
+// runResolicitScan periodically checks every local member's total-order
+// queue for a straggler: an uncommitted message that has blocked the head of
+// the queue (and therefore every later committed delivery) for longer than
+// ResolicitAfter. For each straggler it re-solicits the commit record —
+// from the initiator's site first, rotating to the other member sites if the
+// initiator does not answer — so a slow or lost proposal round no longer
+// stalls the member until the next flush.
+func (d *Daemon) runResolicitScan() {
+	defer d.wg.Done()
+	interval := d.cfg.ResolicitAfter / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	if interval > 250*time.Millisecond {
+		interval = 250 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stopScan:
+			return
+		case <-t.C:
+			d.resolicitStragglers()
+		}
+	}
+}
+
+// resolicitStragglers performs one scan round of runResolicitScan.
+func (d *Daemon) resolicitStragglers() {
+	type ask struct {
+		to  addr.SiteID
+		gid addr.Address
+		id  core.MsgID
+	}
+	var asks []ask
+	var selfFix []*msg.Message
+	now := time.Now()
+	d.mu.Lock()
+	for gid, gs := range d.groups {
+		if gs.wedged || gs.nonPrimary {
+			continue
+		}
+		for _, ms := range gs.members {
+			id, payload, blocked := ms.total.HeadBlocked()
+			if !blocked {
+				ms.blockedID = core.MsgID{}
 				continue
 			}
-			if pkt, ok := del.Payload.(*msg.Message); ok && pkt != nil {
-				d.recordRecentLocked(gs, del.ID, pkt)
-				d.deliverDataLocked(ms, pkt)
+			if id != ms.blockedID {
+				ms.blockedID = id
+				ms.blockedSince = now
+				ms.resolicits = 0
+				continue
+			}
+			if now.Sub(ms.blockedSince) < d.cfg.ResolicitAfter {
+				continue
+			}
+			ms.blockedSince = now // rate-limit: one solicitation per period
+			if final, ok := d.abDone[id]; ok {
+				// Another local member (or a past commit within the bounded
+				// record) already knows the outcome: apply it directly.
+				commit := msg.New()
+				commit.PutAddress(fGroup, gid)
+				putMsgID(commit, id)
+				commit.PutInt(fPriority, int64(final))
+				selfFix = append(selfFix, commit)
+				continue
+			}
+			to := d.resolicitTargetLocked(gs, payload, ms.resolicits)
+			ms.resolicits++
+			if to != 0 {
+				asks = append(asks, ask{to, gid, id})
 			}
 		}
 	}
 	d.mu.Unlock()
+	for _, c := range selfFix {
+		d.handleAbCommit(d.site, c)
+	}
+	for _, a := range asks {
+		req := msg.New()
+		req.PutAddress(fGroup, a.gid)
+		putMsgID(req, a.id)
+		_ = d.sendPacket(a.to, ptAbResolicit, req)
+	}
+}
+
+// resolicitTargetLocked picks the site to ask about a straggler: the sender's
+// site first (for a member ABCAST that is the initiator), then the group's
+// other member sites in view order — any site that applied the commit can
+// answer from its record, which is what lets a receiver route around a
+// paused or dead initiator link. Suspected sites are skipped. Caller holds
+// d.mu.
+func (d *Daemon) resolicitTargetLocked(gs *groupState, payload any, attempt int) addr.SiteID {
+	seen := map[addr.SiteID]bool{d.site: true}
+	var cands []addr.SiteID
+	if pkt, ok := payload.(*msg.Message); ok && pkt != nil {
+		if s := pkt.GetAddress(fSender); !s.IsNil() && s.Site != d.site {
+			seen[s.Site] = true
+			cands = append(cands, s.Site)
+		}
+	}
+	for _, s := range gs.view.SitesOf() {
+		if !seen[s] {
+			seen[s] = true
+			cands = append(cands, s)
+		}
+	}
+	var live []addr.SiteID
+	for _, s := range cands {
+		if !d.suspected[s] {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		return 0
+	}
+	return live[attempt%len(live)]
 }
 
 // ---------------------------------------------------------------------------
@@ -550,7 +820,18 @@ func (d *Daemon) handleData(from addr.SiteID, pkt *msg.Message) {
 		return
 	}
 	if pkt.GetInt(fRelay, 0) == 1 {
-		d.relayMulticast(from, pkt)
+		err := d.relayMulticast(from, pkt, true)
+		if callID := pkt.GetInt(fCall, 0); callID != 0 && !errors.Is(err, errRelayHeld) {
+			// Acknowledge the relay so the sender's daemon learns its fate;
+			// a held relay is acknowledged when the flush re-dispatches it.
+			if err != nil {
+				d.replyError(from, callID, err.Error())
+			} else {
+				ack := msg.New()
+				ack.PutInt(fCall, callID)
+				_ = d.sendPacket(from, ptRelayAck, ack)
+			}
+		}
 		return
 	}
 	proto := Protocol(pkt.GetInt(fProto, 0))
@@ -590,6 +871,9 @@ func (d *Daemon) handleData(from addr.SiteID, pkt *msg.Message) {
 		resp.PutAddress(fGroup, gid)
 		putMsgID(resp, id)
 		resp.PutInt(fPriority, int64(maxPrio))
+		if att := pkt.GetInt(fAttempt, 0); att != 0 {
+			resp.PutInt(fAttempt, att)
+		}
 		_ = d.sendPacket(from, ptAbPropose, resp)
 	default:
 		d.mu.Unlock()
@@ -617,7 +901,7 @@ func (d *Daemon) processCbcastLocked(gs *groupState, pkt *msg.Message) {
 				continue
 			}
 			if opkt, ok := out.Payload.(*msg.Message); ok {
-				d.recordRecentLocked(gs, out.ID, opkt)
+				d.recordRecentLocked(gs, out.ID, opkt, 0)
 				d.deliverDataLocked(ms, opkt)
 			}
 		}
@@ -678,17 +962,26 @@ func (d *Daemon) enqueueMember(ms *memberState, fn func()) {
 }
 
 // recordRecentLocked remembers a delivered data packet so a GBCAST flush can
-// re-disseminate it to members that missed it. Caller holds d.mu.
-func (d *Daemon) recordRecentLocked(gs *groupState, id core.MsgID, pkt *msg.Message) {
+// re-disseminate it to members that missed it. For an ABCAST, prio is the
+// final priority it was delivered at (0 for CBCAST and point-to-point),
+// kept for exactly as long as the recent entry itself. Caller holds d.mu.
+func (d *Daemon) recordRecentLocked(gs *groupState, id core.MsgID, pkt *msg.Message, prio uint64) {
 	if _, ok := gs.recent[id]; ok {
 		return
 	}
 	gs.recent[id] = pkt
+	if prio != 0 {
+		if gs.recentPrio == nil {
+			gs.recentPrio = make(map[core.MsgID]uint64)
+		}
+		gs.recentPrio[id] = prio
+	}
 	gs.order = append(gs.order, id)
 	if len(gs.order) > recentLimit {
 		old := gs.order[0]
 		gs.order = gs.order[1:]
 		delete(gs.recent, old)
+		delete(gs.recentPrio, old)
 	}
 }
 

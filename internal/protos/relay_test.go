@@ -1,0 +1,100 @@
+package protos
+
+// Regression tests for the relayed-multicast acknowledgement: a relay
+// arriving at a coordinator that cannot fan it out — a non-primary minority
+// copy, or a site that no longer hosts the group — is refused with the
+// sentinel error travelling back over the wire, instead of being dropped
+// with the sender none the wiser. A refused CBCAST relay also rolls its
+// per-sender FIFO sequence back, so the refusal leaves no hole that would
+// stall later relays in the receivers' causal queues.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/simnet"
+)
+
+// TestRelayRefusedByNonPrimaryCoordinator strands a group member and an
+// external client together in a minority partition. The client's relay
+// reaches the minority coordinator, whose copy is wedged read-only; the
+// refusal must surface to the client as ErrNonPrimary (reconstructed from
+// the wire), and after the partition heals and the minority merges back the
+// client's next relay must be delivered — proof the refused relay consumed
+// no FIFO sequence number.
+func TestRelayRefusedByNonPrimaryCoordinator(t *testing.T) {
+	tc := newFaultCluster(t, 4, simnet.FastConfig(), time.Second, scenarioDetector())
+	procs := buildGroup(t, tc, "refuse", 1, 2, 3)
+	gid := groupOf(t, tc, procs[0], "refuse")
+
+	// The client resolves the group before the partition so its daemon holds
+	// a cached view naming all three member sites.
+	client := tc.newProc(4)
+	if _, err := tc.daemons[4].Lookup("refuse"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition {3,4} away from {1,2}: the member at site 3 becomes a
+	// minority of one and wedges non-primary; the client can only reach it.
+	for _, cut := range [][2]simnet.SiteID{{3, 1}, {3, 2}, {4, 1}, {4, 2}} {
+		tc.net.Partition(cut[0], cut[1])
+	}
+	waitFor(t, "minority copy wedges non-primary", 10*time.Second, func() bool {
+		return !tc.daemons[3].GroupPrimary(gid)
+	})
+	waitFor(t, "client suspects the majority sites", 10*time.Second, func() bool {
+		suspected := map[addr.SiteID]bool{}
+		for _, s := range tc.daemons[4].SuspectedSites() {
+			suspected[s] = true
+		}
+		return suspected[1] && suspected[2]
+	})
+
+	if _, err := tc.daemons[4].Multicast(client.addr, CBCAST, addr.List{gid}, addr.EntryUserBase, body("refused")); !errors.Is(err, ErrNonPrimary) {
+		t.Fatalf("relay into a non-primary partition returned %v, want ErrNonPrimary", err)
+	}
+
+	// Heal: the minority merges back; the client's next relay must carry the
+	// first FIFO sequence number and reach the members.
+	tc.net.HealAll()
+	waitFor(t, "minority merges back into the primary", 20*time.Second, func() bool {
+		v := procs[0].lastView()
+		return v.Size() == 3 && v.Contains(procs[2].addr) && tc.daemons[3].GroupPrimary(gid)
+	})
+	waitFor(t, "post-heal relay delivered", 10*time.Second, func() bool {
+		if _, err := tc.daemons[4].Multicast(client.addr, CBCAST, addr.List{gid}, addr.EntryUserBase, body("after-heal")); err != nil {
+			return false
+		}
+		time.Sleep(50 * time.Millisecond)
+		return procs[0].got("after-heal")
+	})
+	if procs[0].got("refused") || procs[1].got("refused") {
+		t.Error("a refused relay was delivered anyway")
+	}
+}
+
+// TestRelayToVanishedGroupSurfacesError relays to a group whose only member
+// has left: the stale cached view routes the relay to a site that no longer
+// hosts the group, the refusal comes back as ErrUnknownGroup, the automatic
+// view refresh finds the group gone, and the sender gets the sentinel
+// instead of a silent drop.
+func TestRelayToVanishedGroupSurfacesError(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	member := tc.newProc(1)
+	if _, err := tc.daemons[1].CreateGroup(member.addr, "vanish"); err != nil {
+		t.Fatal(err)
+	}
+	client := tc.newProc(2)
+	gid, err := tc.daemons[2].Lookup("vanish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.daemons[1].Leave(member.addr, gid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.daemons[2].Multicast(client.addr, CBCAST, addr.List{gid}, addr.EntryUserBase, body("ghost")); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatalf("relay to a vanished group returned %v, want ErrUnknownGroup", err)
+	}
+}

@@ -66,20 +66,22 @@ const (
 // collide with the application's fields or with the "@" system fields the
 // toolkit sets.
 const (
-	ptData       = byte(iota + 1) // CBCAST data / ABCAST phase 1 / point-to-point
-	ptAbPropose                   // ABCAST phase 1 response: proposed priority
-	ptAbCommit                    // ABCAST phase 2: final priority
-	ptGbRequest                   // request to the group coordinator (join/leave/fail/user gbcast/config)
-	ptGbPrepare                   // GBCAST phase 1: wedge and report pending state
-	ptGbAck                       // GBCAST phase 1 response
-	ptGbCommit                    // GBCAST phase 2: install view / deliver payload
-	ptGbDone                      // coordinator's response to the original requester
-	ptLookup                      // symbolic name lookup request
-	ptLookupResp                  // lookup response
-	ptHeartbeat                   // failure-detector heartbeat (empty body)
-	ptStateBlock                  // state transfer block for a joining member
-	ptError                       // negative response to a call
-	ptStateAck                    // joiner's site announces its state transfer completed
+	ptData        = byte(iota + 1) // CBCAST data / ABCAST phase 1 / point-to-point
+	ptAbPropose                    // ABCAST phase 1 response: proposed priority
+	ptAbCommit                     // ABCAST phase 2: final priority
+	ptGbRequest                    // request to the group coordinator (join/leave/fail/user gbcast/config)
+	ptGbPrepare                    // GBCAST phase 1: wedge and report pending state
+	ptGbAck                        // GBCAST phase 1 response
+	ptGbCommit                     // GBCAST phase 2: install view / deliver payload
+	ptGbDone                       // coordinator's response to the original requester
+	ptLookup                       // symbolic name lookup request
+	ptLookupResp                   // lookup response
+	ptHeartbeat                    // failure-detector heartbeat (empty body)
+	ptStateBlock                   // state transfer block for a joining member
+	ptError                        // negative response to a call
+	ptStateAck                     // joiner's site announces its state transfer completed
+	ptAbResolicit                  // receiver asks for a straggler ABCAST's commit record
+	ptRelayAck                     // positive acknowledgement of a relayed multicast
 )
 
 // Field names used in daemon-to-daemon packet bodies.
@@ -113,6 +115,7 @@ const (
 	fForce     = "&force"   // run the full wedge/flush even for a no-op change
 	fXferID    = "&xferid"  // state-transfer attempt id (the view id the provider shipped under)
 	fDead      = "&dead"    // prepare ack: removal targets this site confirms dead
+	fAttempt   = "&attempt" // ABCAST protocol attempt (bumped by a fence restart)
 	fPrimary   = "&primary" // lookup response: the answering site's copy is primary
 	fFound     = "&found"   // lookup response: the answering site hosts the group
 	fSite      = "&site"    // lookup response: the answering site's id
@@ -182,12 +185,17 @@ func getVT(p *msg.Message) vclock.VC {
 }
 
 // pendingReport is one member-site's contribution to a GBCAST flush: the
-// ABCASTs it has received but not delivered (with commit status) and the
-// identifiers of recent deliveries so the coordinator can rebroadcast
-// messages some members missed.
+// ABCASTs it has received but not delivered (with commit status and, when the
+// site initiated them, the priorities collected so far) and the identifiers
+// of recent deliveries so the coordinator can rebroadcast messages some
+// members missed. On the commit, the same structure carries the
+// reconciliation instructions back: committed entries to force everywhere,
+// uncommitted entries to discard, recent messages to re-disseminate, and the
+// ids of ABCASTs fenced behind the new view (their initiators restart them).
 type pendingReport struct {
 	Abcasts []abPendingWire
 	Recent  []recentWire
+	Fenced  []core.MsgID
 }
 
 type abPendingWire struct {
@@ -195,11 +203,19 @@ type abPendingWire struct {
 	Committed bool
 	Priority  uint64
 	Packet    *msg.Message // the original ptData packet, so it can be re-disseminated
+	Init      bool         // the reporting site holds the initiator round (pendingAb)
 }
 
+// recentWire is one recently delivered message in a flush report. For an
+// ABCAST the reporting site also ships the final priority it delivered at
+// (from its bounded commit record), so the coordinator can complete the
+// message — at the exact final the protocol already used — at sites where it
+// is still an uncommitted pending entry; Priority 0 means unknown (a CBCAST,
+// or a record already evicted).
 type recentWire struct {
-	ID     core.MsgID
-	Packet *msg.Message
+	ID       core.MsgID
+	Packet   *msg.Message
+	Priority uint64
 }
 
 // encodePendingReport flattens a report into a nested message.
@@ -218,6 +234,9 @@ func encodePendingReport(r pendingReport) *msg.Message {
 		if a.Packet != nil {
 			e.PutMessage("pkt", a.Packet)
 		}
+		if a.Init {
+			e.PutInt("i", 1)
+		}
 		m.PutMessage(fmt.Sprintf("ab%d", i), e)
 	}
 	m.PutInt("nrc", int64(len(r.Recent)))
@@ -227,7 +246,16 @@ func encodePendingReport(r pendingReport) *msg.Message {
 		if rc.Packet != nil {
 			e.PutMessage("pkt", rc.Packet)
 		}
+		if rc.Priority != 0 {
+			e.PutInt("p", int64(rc.Priority))
+		}
 		m.PutMessage(fmt.Sprintf("rc%d", i), e)
+	}
+	m.PutInt("nfc", int64(len(r.Fenced)))
+	for i, id := range r.Fenced {
+		e := msg.New()
+		putMsgID(e, id)
+		m.PutMessage(fmt.Sprintf("fc%d", i), e)
 	}
 	return m
 }
@@ -249,6 +277,7 @@ func decodePendingReport(m *msg.Message) pendingReport {
 			Committed: e.GetInt("c", 0) == 1,
 			Priority:  uint64(e.GetInt("p", 0)),
 			Packet:    e.GetMessage("pkt"),
+			Init:      e.GetInt("i", 0) == 1,
 		})
 	}
 	nrc := int(m.GetInt("nrc", 0))
@@ -257,7 +286,17 @@ func decodePendingReport(m *msg.Message) pendingReport {
 		if e == nil {
 			continue
 		}
-		r.Recent = append(r.Recent, recentWire{ID: getMsgID(e), Packet: e.GetMessage("pkt")})
+		r.Recent = append(r.Recent, recentWire{
+			ID: getMsgID(e), Packet: e.GetMessage("pkt"), Priority: uint64(e.GetInt("p", 0)),
+		})
+	}
+	nfc := int(m.GetInt("nfc", 0))
+	for i := 0; i < nfc; i++ {
+		e := m.GetMessage(fmt.Sprintf("fc%d", i))
+		if e == nil {
+			continue
+		}
+		r.Fenced = append(r.Fenced, getMsgID(e))
 	}
 	return r
 }

@@ -116,6 +116,13 @@ type peerRecv struct {
 	assembling   []byte            // fragments of the current message
 	ackOwed      bool              // a (re-)ack must reach the peer
 	ackTimerSet  bool              // a delayed pure-ack is scheduled
+	ackCh        chan ackNote      // latest-wins mailbox for the ack sender
+	ackStarted   bool              // ack-sender goroutine running
+}
+
+// ackNote is one epoch-qualified cumulative ack awaiting transmission.
+type ackNote struct {
+	epoch, cum uint64
 }
 
 type subRec struct {
@@ -257,21 +264,6 @@ func (t *Transport) Send(to SiteID, data []byte) error {
 	t.stats.MessagesSent++
 	t.stats.FragmentsSent += uint64(n)
 
-	if t.cfg.DisableBatching {
-		// Ablation baseline: one frame per fragment, sent synchronously.
-		var frames [][]byte
-		for len(ps.queue) > 0 {
-			frames = append(frames, t.buildFrameLocked(to, ps, 1))
-		}
-		t.mu.Unlock()
-		for _, f := range frames {
-			if err := t.ep.Send(to, f); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
 	if !ps.started {
 		ps.started = true
 		t.wg.Add(1)
@@ -306,13 +298,20 @@ func (t *Transport) runFlusher(to SiteID, ps *peerSend) {
 			case <-timer.C:
 			}
 		}
+		// The ablation baseline caps every frame at one record (one wire
+		// packet per fragment — no coalescing); the flusher still does the
+		// sending, so callers never block on a backed-up link.
+		maxRecs := 0
+		if t.cfg.DisableBatching {
+			maxRecs = 1
+		}
 		for {
 			t.mu.Lock()
 			if len(ps.queue) == 0 {
 				t.mu.Unlock()
 				break
 			}
-			frame := t.buildFrameLocked(to, ps, 0)
+			frame := t.buildFrameLocked(to, ps, maxRecs)
 			t.mu.Unlock()
 			_ = t.ep.Send(to, frame)
 		}
@@ -591,12 +590,10 @@ func (t *Transport) handleFrame(from SiteID, raw []byte) {
 
 	// Ack policy: immediately when configured so, otherwise via a short
 	// timer that a reverse-direction data frame can beat (piggybacking).
-	var ackEpoch, ackNow uint64
-	sendNow := false
 	if pr.ackOwed {
 		if t.cfg.AckDelay < 0 || t.cfg.DisableBatching {
 			pr.ackOwed = false
-			ackEpoch, ackNow, sendNow = pr.epoch, pr.nextExpected-1, true
+			t.queueAckLocked(from, pr, pr.epoch, pr.nextExpected-1)
 		} else if !pr.ackTimerSet {
 			pr.ackTimerSet = true
 			time.AfterFunc(t.cfg.AckDelay, func() { t.ackTimerFire(from) })
@@ -605,9 +602,6 @@ func (t *Transport) handleFrame(from SiteID, raw []byte) {
 	handler := t.handler
 	t.mu.Unlock()
 
-	if sendNow {
-		t.sendAck(from, ackEpoch, ackNow)
-	}
 	if handler != nil {
 		for _, m := range complete {
 			handler(from, m)
@@ -651,6 +645,54 @@ func (t *Transport) ackTimerFire(from SiteID) {
 	t.mu.Unlock()
 	if owed {
 		t.sendAck(from, epoch, cum)
+	}
+}
+
+// queueAckLocked hands a dedicated ack to the peer's ack-sender goroutine
+// instead of transmitting it from the receive loop. The receive loop must
+// never block on a network send: with per-fragment framing under flood, a
+// receive loop stuck on a full reverse link while the peer's receive loop
+// waits symmetrically on the opposite pair is a distributed buffer deadlock
+// (observed as a multi-minute hang of the unbatched ablation benchmark).
+// Cumulative acks are monotonic, so the one-slot mailbox keeps only the
+// newest — under backlog stale acks are superseded, never reordered.
+// Caller holds t.mu.
+func (t *Transport) queueAckLocked(to SiteID, pr *peerRecv, epoch, cum uint64) {
+	if t.closed {
+		// A frame can still arrive between Close and the endpoint detaching;
+		// starting the ack sender now would race wg.Add against Close's
+		// wg.Wait, and the peer no longer needs the ack.
+		return
+	}
+	if !pr.ackStarted {
+		pr.ackStarted = true
+		pr.ackCh = make(chan ackNote, 1)
+		t.wg.Add(1)
+		go t.runAckSender(to, pr.ackCh)
+	}
+	for {
+		select {
+		case pr.ackCh <- ackNote{epoch, cum}:
+			return
+		default:
+		}
+		select {
+		case <-pr.ackCh: // drop the superseded ack
+		default:
+		}
+	}
+}
+
+// runAckSender transmits one peer's dedicated acks from its mailbox.
+func (t *Transport) runAckSender(to SiteID, ch chan ackNote) {
+	defer t.wg.Done()
+	for {
+		select {
+		case <-t.done:
+			return
+		case a := <-ch:
+			t.sendAck(to, a.epoch, a.cum)
+		}
 	}
 }
 
