@@ -40,7 +40,7 @@ func BenchmarkTable1(b *testing.B) {
 // the paper-calibrated network.
 func BenchmarkFigure2Throughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := bench.RunFigure2Throughput(simnet.PaperConfig(), 2, paperSizes, 200*time.Millisecond)
+		points, err := bench.RunFigure2Throughput(bench.SimChoice(simnet.PaperConfig()), 2, paperSizes, 200*time.Millisecond)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -62,7 +62,7 @@ func BenchmarkFigure2Latency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var all []bench.Fig2Point
 		for _, proto := range []isis.Protocol{isis.CBCAST, isis.ABCAST, isis.GBCAST} {
-			points, err := bench.RunFigure2Latency(simnet.PaperConfig(), proto, 2, paperSizes, 3)
+			points, err := bench.RunFigure2Latency(bench.SimChoice(simnet.PaperConfig()), proto, 2, paperSizes, 3)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -9,9 +9,19 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/fdetect"
+	"repro/internal/netback"
 	"repro/internal/protos"
 	"repro/internal/simnet"
+	"repro/internal/tcpnet"
 	"repro/internal/transport"
+)
+
+// Backend names accepted by ClusterConfig.Backend.
+const (
+	// BackendSimnet runs the cluster over the simulated LAN (the default).
+	BackendSimnet = "simnet"
+	// BackendTCP runs the cluster over real kernel TCP sockets on loopback.
+	BackendTCP = "tcp"
 )
 
 // ClusterConfig parameterizes a simulated ISIS cluster.
@@ -19,10 +29,16 @@ type ClusterConfig struct {
 	// Sites is the number of sites created up front (ids 1..Sites). More
 	// can be added later with AddSite.
 	Sites int
+	// Backend selects the network fabric: BackendSimnet (the default, also
+	// selected by "") or BackendTCP for real loopback sockets.
+	Backend string
 	// Net configures the simulated LAN; the zero value selects
 	// FastNetConfig (no artificial delays), which is what tests want.
-	// Benchmarks pass PaperNetConfig.
+	// Benchmarks pass PaperNetConfig. Ignored under BackendTCP.
 	Net simnet.Config
+	// TCP configures the TCP backend; the zero value selects its defaults.
+	// Ignored under BackendSimnet.
+	TCP tcpnet.Config
 	// Detector configures the failure detector at every site; the zero
 	// value picks settings suited to the Net configuration.
 	Detector fdetect.Config
@@ -50,8 +66,9 @@ type ClusterConfig struct {
 // (protocols daemon) per site id. All state is in-process; sites "crash" by
 // detaching from the network.
 type Cluster struct {
-	cfg ClusterConfig
-	net *simnet.Network
+	cfg    ClusterConfig
+	fabric netback.Network
+	sim    *simnet.Network // non-nil only under BackendSimnet
 
 	mu      sync.Mutex
 	sites   map[SiteID]*Site
@@ -78,9 +95,17 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	c := &Cluster{
 		cfg:     cfg,
-		net:     simnet.New(cfg.Net),
 		sites:   make(map[SiteID]*Site),
 		lastInc: make(map[SiteID]addr.Incarnation),
+	}
+	switch cfg.Backend {
+	case "", BackendSimnet:
+		c.sim = simnet.New(cfg.Net)
+		c.fabric = c.sim
+	case BackendTCP:
+		c.fabric = tcpnet.New(cfg.TCP)
+	default:
+		return nil, fmt.Errorf("isis: unknown backend %q", cfg.Backend)
 	}
 	for i := 1; i <= cfg.Sites; i++ {
 		if _, err := c.AddSite(SiteID(i)); err != nil {
@@ -91,8 +116,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	return c, nil
 }
 
-// Network exposes the simulated LAN (for statistics and tracing).
-func (c *Cluster) Network() *simnet.Network { return c.net }
+// Network exposes the simulated LAN (for statistics and fault injection);
+// nil when the cluster runs on a different backend.
+func (c *Cluster) Network() *simnet.Network { return c.sim }
+
+// Fabric exposes the cluster's network backend, whichever kind it is.
+func (c *Cluster) Fabric() netback.Network { return c.fabric }
 
 // AddSite attaches a new site (or restarts a crashed one with a fresh
 // incarnation) and returns it.
@@ -111,7 +140,7 @@ func (c *Cluster) AddSite(id SiteID) (*Site, error) {
 	d, err := protos.New(protos.Config{
 		Site:              id,
 		Incarnation:       inc,
-		Network:           c.net,
+		Network:           c.fabric,
 		Transport:         c.cfg.Transport,
 		Detector:          c.cfg.Detector,
 		CallTimeout:       c.cfg.CallTimeout,
@@ -196,7 +225,7 @@ func (c *Cluster) Close() {
 	for _, s := range c.Sites() {
 		s.daemon.Close()
 	}
-	c.net.Close()
+	c.fabric.Close()
 }
 
 // Site is one computing site of the cluster.

@@ -58,11 +58,27 @@ var minUnits = map[string]bool{"ns/op": true, "B/op": true, "allocs/op": true}
 
 // Artifact is the JSON document benchjson reads and writes.
 type Artifact struct {
-	Schema     int                  `json:"schema"`
-	Go         string               `json:"go"`
-	GOOS       string               `json:"goos"`
-	GOARCH     string               `json:"goarch"`
+	Schema int    `json:"schema"`
+	Go     string `json:"go"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// Backend names the transport backend the benchmarks ran over ("simnet"
+	// or "tcp"). Comparisons across backends are refused: simnet and TCP
+	// numbers differ by orders of magnitude, so a cross-backend diff would
+	// either always fail the gate or, worse, mask a real regression.
+	// Artifacts written before the field existed read back as "" and are
+	// treated as simnet.
+	Backend    string               `json:"backend,omitempty"`
 	Benchmarks map[string]Benchmark `json:"benchmarks"`
+}
+
+// backendOf normalizes an artifact's backend tag, defaulting pre-tag
+// artifacts to simnet (the only backend that existed before the field).
+func backendOf(a *Artifact) string {
+	if a.Backend == "" {
+		return "simnet"
+	}
+	return a.Backend
 }
 
 // Benchmark aggregates every run of one benchmark name.
@@ -75,6 +91,7 @@ func main() {
 	out := flag.String("out", "", "write the parsed JSON artifact to this file (default stdout)")
 	compare := flag.Bool("compare", false, "compare two artifacts: benchjson -compare BASELINE CURRENT")
 	threshold := flag.Float64("threshold", 0.20, "relative regression that fails the comparison")
+	backend := flag.String("backend", "simnet", "transport backend the benchmarks ran over; stamped into the artifact")
 	flag.Parse()
 
 	if *compare {
@@ -117,6 +134,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if bb, cb := backendOf(base), backendOf(cur); bb != cb {
+			fatal(fmt.Errorf("refusing to compare artifacts from different backends: %s is %q, %s is %q",
+				paths[0], bb, paths[1], cb))
+		}
 		if !compareArtifacts(os.Stdout, base, cur, *threshold) {
 			os.Exit(1)
 		}
@@ -127,6 +148,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	art.Backend = *backend
 	if len(art.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark result lines found on stdin"))
 	}

@@ -9,7 +9,12 @@
 //	isis-bench -all       everything (default if no flag is given)
 //
 // The network uses the paper-calibrated parameters (10 µs intra-site, 16 ms
-// inter-site, 10 Mbit/s, 4 KB fragmentation) unless -fast is given.
+// inter-site, 10 Mbit/s, 4 KB fragmentation) unless -fast is given. With
+// -tcp the Figure 2 experiments run over real kernel TCP sockets on loopback
+// instead of the simulation; those numbers measure this machine, not the
+// paper's LAN, and are reported for the backend-equivalence record in
+// EXPERIMENTS.md. The tracer-based experiments (Figure 3) and the
+// fault-injection ones stay on the simulated network.
 package main
 
 import (
@@ -32,6 +37,7 @@ func main() {
 		cpu       = flag.Bool("cpu", false, "regenerate the Section 7 CPU-utilisation observation")
 		all       = flag.Bool("all", false, "run every experiment")
 		fast      = flag.Bool("fast", false, "use a zero-delay network instead of the paper-calibrated one")
+		tcp       = flag.Bool("tcp", false, "run the Figure 2 experiments over real TCP-loopback sockets instead of the simulated LAN")
 		unbatched = flag.Bool("unbatched", false, "disable transport packet coalescing in the Figure 2 throughput run (ablation)")
 	)
 	flag.Parse()
@@ -41,6 +47,10 @@ func main() {
 	netCfg := simnet.PaperConfig()
 	if *fast {
 		netCfg = simnet.FastConfig()
+	}
+	fig2Net := bench.SimChoice(netCfg)
+	if *tcp {
+		fig2Net = bench.TCPChoice()
 	}
 
 	fail := func(err error) {
@@ -61,11 +71,14 @@ func main() {
 	if *all || *figure2 {
 		sizes := []int{10, 100, 1000, 10000}
 		fmt.Println("== Figure 2 (top): asynchronous CBCAST throughput vs message size ==")
+		if *tcp {
+			fmt.Println("(backend: real TCP loopback — numbers measure this machine, not the paper's LAN)")
+		}
 		if *unbatched {
 			fmt.Println("(transport packet coalescing DISABLED — ablation baseline)")
 		}
 		for _, dests := range []int{2, 4} {
-			points, err := bench.RunFigure2ThroughputAblation(netCfg, dests, sizes, 300*time.Millisecond, *unbatched)
+			points, err := bench.RunFigure2ThroughputAblation(fig2Net, dests, sizes, 300*time.Millisecond, *unbatched)
 			if err != nil {
 				fail(err)
 			}
@@ -76,7 +89,7 @@ func main() {
 		for _, dests := range []int{2, 4} {
 			var allPoints []bench.Fig2Point
 			for _, proto := range []isis.Protocol{isis.CBCAST, isis.ABCAST, isis.GBCAST} {
-				points, err := bench.RunFigure2Latency(netCfg, proto, dests, sizes, 3)
+				points, err := bench.RunFigure2Latency(fig2Net, proto, dests, sizes, 3)
 				if err != nil {
 					fail(err)
 				}

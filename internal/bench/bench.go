@@ -270,6 +270,24 @@ type Fig2Point struct {
 	Throughput float64 // bytes/second, asynchronous-CBCAST panel only
 }
 
+// NetChoice selects the fabric a Figure 2 run measures: the simulated LAN
+// with its calibrated delays (the default), or the real TCP-loopback wire,
+// whose latencies are whatever the kernel delivers. Results from the two
+// backends are different experiments and must never be compared as if they
+// were the same hardware.
+type NetChoice struct {
+	// Backend is isis.BackendSimnet (also selected by "") or isis.BackendTCP.
+	Backend string
+	// Sim parameterizes the simulated LAN; ignored under BackendTCP.
+	Sim simnet.Config
+}
+
+// SimChoice wraps a simulated-LAN configuration in a NetChoice.
+func SimChoice(cfg simnet.Config) NetChoice { return NetChoice{Sim: cfg} }
+
+// TCPChoice selects the TCP-loopback backend.
+func TCPChoice() NetChoice { return NetChoice{Backend: isis.BackendTCP} }
+
 // fig2Env builds a group with one member per destination site plus a sender
 // member at site 1.
 type fig2Env struct {
@@ -278,9 +296,9 @@ type fig2Env struct {
 	gid     isis.Address
 }
 
-func newFig2Env(netCfg simnet.Config, dests int, trCfg transport.Config) (*fig2Env, error) {
+func newFig2Env(nc NetChoice, dests int, trCfg transport.Config) (*fig2Env, error) {
 	cluster, err := isis.NewCluster(isis.ClusterConfig{
-		Sites: dests + 1, Net: netCfg, Transport: trCfg,
+		Sites: dests + 1, Backend: nc.Backend, Net: nc.Sim, Transport: trCfg,
 		CallTimeout: 20 * time.Second, ReplyTimeout: 30 * time.Second,
 		DisableHeartbeats: true,
 	})
@@ -321,8 +339,8 @@ func newFig2Env(netCfg simnet.Config, dests int, trCfg transport.Config) (*fig2E
 // RunFigure2Latency measures the latency of one primitive: the delay between
 // invoking it and receiving one reply from a local destination (the sender
 // itself is a member, as in the paper's setup).
-func RunFigure2Latency(netCfg simnet.Config, primitive isis.Protocol, dests int, sizes []int, iters int) ([]Fig2Point, error) {
-	env, err := newFig2Env(netCfg, dests, transport.Config{})
+func RunFigure2Latency(nc NetChoice, primitive isis.Protocol, dests int, sizes []int, iters int) ([]Fig2Point, error) {
+	env, err := newFig2Env(nc, dests, transport.Config{})
 	if err != nil {
 		return nil, err
 	}
@@ -341,7 +359,9 @@ func RunFigure2Latency(netCfg simnet.Config, primitive isis.Protocol, dests int,
 		}
 		out = append(out, Fig2Point{
 			Primitive: primitive.String(), Dests: dests, SizeBytes: size,
-			LatencyMs: float64(total.Milliseconds()) / float64(iters),
+			// Microsecond resolution: the TCP-loopback backend's latencies
+			// sit well under a millisecond and would otherwise round to 0.
+			LatencyMs: float64(total.Microseconds()) / 1000 / float64(iters),
 		})
 	}
 	return out, nil
@@ -349,15 +369,15 @@ func RunFigure2Latency(netCfg simnet.Config, primitive isis.Protocol, dests int,
 
 // RunFigure2Throughput measures asynchronous CBCAST throughput in payload
 // bytes per second: the sender never waits for replies.
-func RunFigure2Throughput(netCfg simnet.Config, dests int, sizes []int, perSize time.Duration) ([]Fig2Point, error) {
-	return RunFigure2ThroughputAblation(netCfg, dests, sizes, perSize, false)
+func RunFigure2Throughput(nc NetChoice, dests int, sizes []int, perSize time.Duration) ([]Fig2Point, error) {
+	return RunFigure2ThroughputAblation(nc, dests, sizes, perSize, false)
 }
 
 // RunFigure2ThroughputAblation is RunFigure2Throughput with the transport's
 // packet coalescing optionally disabled, so the batching win on the Figure 2
 // panel stays measurable.
-func RunFigure2ThroughputAblation(netCfg simnet.Config, dests int, sizes []int, perSize time.Duration, unbatched bool) ([]Fig2Point, error) {
-	env, err := newFig2Env(netCfg, dests, transport.Config{DisableBatching: unbatched})
+func RunFigure2ThroughputAblation(nc NetChoice, dests int, sizes []int, perSize time.Duration, unbatched bool) ([]Fig2Point, error) {
+	env, err := newFig2Env(nc, dests, transport.Config{DisableBatching: unbatched})
 	if err != nil {
 		return nil, err
 	}
@@ -418,7 +438,7 @@ type Fig3Breakdown struct {
 // other member is at site 2, using the paper-calibrated network, and
 // decomposes the observed latency.
 func RunFigure3(netCfg simnet.Config, iters int) (Fig3Breakdown, error) {
-	env, err := newFig2Env(netCfg, 1, transport.Config{})
+	env, err := newFig2Env(SimChoice(netCfg), 1, transport.Config{})
 	if err != nil {
 		return Fig3Breakdown{}, err
 	}
@@ -582,7 +602,7 @@ type CPUResult struct {
 // protocols that wait on remote sites leave it 30-35% busy.
 func RunSenderUtilization(netCfg simnet.Config, window time.Duration) ([]CPUResult, error) {
 	run := func(async bool) (CPUResult, error) {
-		env, err := newFig2Env(netCfg, 2, transport.Config{})
+		env, err := newFig2Env(SimChoice(netCfg), 2, transport.Config{})
 		if err != nil {
 			return CPUResult{}, err
 		}

@@ -1,0 +1,89 @@
+package netback
+
+import (
+	"time"
+
+	"repro/internal/addr"
+)
+
+// SiteID aliases the address package's site identifier.
+type SiteID = addr.SiteID
+
+// Packet is one datagram travelling between sites.
+type Packet struct {
+	From    SiteID
+	To      SiteID
+	Payload []byte
+}
+
+// Profile describes the physical characteristics of a fabric that the
+// transport layer needs to parameterize itself: the largest payload one
+// packet may carry and a rough one-way inter-site delay (zero for a fabric
+// with no modelled latency), from which the retransmission interval is
+// derived.
+type Profile struct {
+	// MaxPacket is the largest payload a single Send may carry; zero means
+	// the fabric imposes no limit.
+	MaxPacket int
+	// Delay is the nominal one-way inter-site delay.
+	Delay time.Duration
+}
+
+// Endpoint is one site's attachment to a network fabric. Implementations
+// must be safe for concurrent use.
+type Endpoint interface {
+	// Site returns the attached site's identifier.
+	Site() SiteID
+	// Send transmits payload to the destination site, best-effort: the
+	// packet may be lost but not corrupted or reordered relative to other
+	// packets on the same directed link. Callers may reuse the payload
+	// buffer after Send returns.
+	Send(to SiteID, payload []byte) error
+	// Recv returns the channel on which delivered packets arrive. A
+	// delivered Packet's payload buffer is owned by the receiver: the
+	// backend must not reuse it after delivery.
+	Recv() <-chan Packet
+	// Close detaches the endpoint from the fabric; in-flight packets
+	// toward it may be discarded, exactly as when a site crashes.
+	Close()
+}
+
+// Network is a fabric sites attach to. Implementations must be safe for
+// concurrent use.
+type Network interface {
+	// Attach connects a site to the fabric and returns its endpoint.
+	// Attaching a site id that is already attached replaces the previous
+	// endpoint (which stops receiving) — that models a site recovering
+	// with a new incarnation. The epoch must increase across restarts of
+	// the same site id; backends that perform connection handshakes (TCP)
+	// use it to tell a restarted peer's fresh connections from stragglers
+	// of dead incarnations. Backends without connections may ignore it.
+	Attach(id SiteID, epoch uint64) (Endpoint, error)
+	// Sites returns the ids of the sites currently known to the fabric
+	// (attached, for fabrics with dynamic membership).
+	Sites() []SiteID
+	// Profile returns the fabric's physical parameters.
+	Profile() Profile
+	// Close shuts the fabric down, detaching every endpoint.
+	Close()
+}
+
+// LinkEvent reports a fabric-level link transition on the undirected (A, B)
+// pair: Up=false when the link goes down (an injected partition), Up=true
+// when it heals. Only fabrics that can observe such transitions (the
+// simulated LAN's fault injection) emit them; real networks surface outages
+// through loss and the failure detector instead.
+type LinkEvent struct {
+	A, B SiteID
+	Up   bool
+}
+
+// LinkWatcher is the optional capability of a Network to report link
+// transitions. The protocols daemon type-asserts its fabric against this
+// interface and, when present, probes healed links immediately so partition
+// merges start without waiting out a heartbeat round trip.
+type LinkWatcher interface {
+	// WatchLinks registers a callback invoked on every link transition and
+	// returns a function that unregisters it.
+	WatchLinks(cb func(LinkEvent)) (cancel func())
+}

@@ -10,7 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fdetect"
 	"repro/internal/msg"
-	"repro/internal/simnet"
+	"repro/internal/netback"
 	"repro/internal/transport"
 )
 
@@ -51,8 +51,9 @@ type Config struct {
 	Site addr.SiteID
 	// Incarnation distinguishes restarts of the same site.
 	Incarnation addr.Incarnation
-	// Network is the simulated LAN the site attaches to.
-	Network *simnet.Network
+	// Network is the fabric the site attaches to: the simulated LAN
+	// (*simnet.Network) or the TCP-loopback backend (*tcpnet.Network).
+	Network netback.Network
 	// Transport optionally overrides the transport configuration; the zero
 	// value derives it from the network configuration.
 	Transport transport.Config
@@ -260,8 +261,8 @@ type Daemon struct {
 	cfg  Config
 	site addr.SiteID
 	gen  *addr.Generator
-	net  *simnet.Network
-	ep   *simnet.Endpoint
+	net  netback.Network
+	ep   netback.Endpoint
 	tr   *transport.Transport
 	det  *fdetect.Detector
 
@@ -285,8 +286,29 @@ type Daemon struct {
 	primWatch   []func(addr.Address, bool) // primary-status transitions per group
 	merging     map[addr.Address]bool      // groups with a merge in progress
 	reqSerial   map[addr.Address]*sync.Mutex
-	counters    Counters
-	closed      bool
+
+	// Relayed-CBCAST FIFO repair (see relayrepair.go). lostRelays tracks
+	// relay calls whose outcome is unknown — the call timed out or was
+	// aborted by the failure detector while the request may still be queued
+	// in the reliable transport — keyed by call id so a late response can be
+	// reconciled against the FIFO sequence the relay consumed. relayHoles
+	// holds sequence numbers confirmed refused after later numbers were
+	// handed out; each needs a null filler before receivers can progress.
+	lostRelays     map[int64]lostRelay
+	lostRelayOrder []int64
+	relayHoles     map[relayHoleKey]lostRelay
+	repairingHoles bool
+
+	// Parked partition merges (see merge.go). When a merge has discarded
+	// the minority's local group copy and a member's rejoin into the
+	// primary then fails every retry, the member is parked here and the
+	// rejoin re-attempted on recovery events and scan ticks — the
+	// alternative is a live process left unhosted forever.
+	parkedMerges   map[parkKey]parkedRejoin
+	retryingMerges bool
+
+	counters Counters
+	closed   bool
 
 	unwatchLinks func() // unregisters the heal-probe link watcher on Close
 	stopScan     chan struct{}
@@ -308,11 +330,11 @@ func New(cfg Config) (*Daemon, error) {
 	// Fill unset transport parameters from the network defaults while
 	// keeping explicit overrides (the batching ablation sets only flags).
 	trCfg := cfg.Transport
-	trDef := transport.DefaultConfig(cfg.Network.Config())
+	trDef := transport.DefaultConfig(cfg.Network.Profile())
 	if trCfg.MaxPacket == 0 {
 		trCfg.MaxPacket = trDef.MaxPacket
 	}
-	if netMax := cfg.Network.Config().MaxPacket; netMax > 0 && trCfg.MaxPacket > netMax {
+	if netMax := cfg.Network.Profile().MaxPacket; netMax > 0 && trCfg.MaxPacket > netMax {
 		// A frame larger than the network accepts would fail asynchronously
 		// in the transport's flusher, where no error can reach the sender;
 		// clamp here, where the network's limit is known.
@@ -332,30 +354,37 @@ func New(cfg Config) (*Daemon, error) {
 	}
 
 	d := &Daemon{
-		cfg:         cfg,
-		site:        cfg.Site,
-		gen:         addr.NewGenerator(cfg.Site, cfg.Incarnation),
-		net:         cfg.Network,
-		procs:       make(map[addr.Address]*localProc),
-		groups:      make(map[addr.Address]*groupState),
-		remoteViews: make(map[addr.Address]core.View),
-		nameCache:   make(map[string]addr.Address),
-		failedProcs: make(map[addr.Address]bool),
-		suspected:   make(map[addr.SiteID]bool),
-		monitored:   make(map[addr.SiteID]bool),
-		calls:       make(map[int64]chan *msg.Message),
-		callSite:    make(map[int64]addr.SiteID),
-		pendingAb:   make(map[core.MsgID]*abSendState),
-		abDone:      make(map[core.MsgID]uint64),
-		pendingJoin: make(map[joinKey]pendingJoin),
-		merging:     make(map[addr.Address]bool),
-		reqSerial:   make(map[addr.Address]*sync.Mutex),
-		stopScan:    make(chan struct{}),
+		cfg:          cfg,
+		site:         cfg.Site,
+		gen:          addr.NewGenerator(cfg.Site, cfg.Incarnation),
+		net:          cfg.Network,
+		procs:        make(map[addr.Address]*localProc),
+		groups:       make(map[addr.Address]*groupState),
+		remoteViews:  make(map[addr.Address]core.View),
+		nameCache:    make(map[string]addr.Address),
+		failedProcs:  make(map[addr.Address]bool),
+		suspected:    make(map[addr.SiteID]bool),
+		monitored:    make(map[addr.SiteID]bool),
+		calls:        make(map[int64]chan *msg.Message),
+		callSite:     make(map[int64]addr.SiteID),
+		pendingAb:    make(map[core.MsgID]*abSendState),
+		abDone:       make(map[core.MsgID]uint64),
+		pendingJoin:  make(map[joinKey]pendingJoin),
+		merging:      make(map[addr.Address]bool),
+		reqSerial:    make(map[addr.Address]*sync.Mutex),
+		lostRelays:   make(map[int64]lostRelay),
+		relayHoles:   make(map[relayHoleKey]lostRelay),
+		parkedMerges: make(map[parkKey]parkedRejoin),
+		stopScan:     make(chan struct{}),
 	}
-	d.ep = cfg.Network.AddSite(cfg.Site)
+	ep, err := cfg.Network.Attach(cfg.Site, trCfg.Epoch)
+	if err != nil {
+		return nil, err
+	}
+	d.ep = ep
 	tr, err := transport.New(d.ep, trCfg, d.handleTransport)
 	if err != nil {
-		cfg.Network.RemoveSite(cfg.Site)
+		d.ep.Close()
 		return nil, err
 	}
 	d.tr = tr
@@ -365,27 +394,31 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	// A healed link is probed immediately with a heartbeat, so the peer's
 	// failure detector observes the recovery — and triggers any pending
-	// partition merge — without waiting for the next heartbeat round.
-	d.unwatchLinks = cfg.Network.WatchLinks(func(ev simnet.LinkEvent) {
-		if !ev.Up {
-			return
-		}
-		var peer addr.SiteID
-		switch d.site {
-		case ev.A:
-			peer = ev.B
-		case ev.B:
-			peer = ev.A
-		default:
-			return
-		}
-		d.mu.Lock()
-		closed := d.closed
-		d.mu.Unlock()
-		if !closed {
-			d.sendHeartbeat(peer)
-		}
-	})
+	// partition merge — without waiting for the next heartbeat round. Only
+	// fabrics that can observe link transitions (the simulated LAN) offer
+	// the capability; on a real wire recovery is heartbeat-driven.
+	if lw, ok := cfg.Network.(netback.LinkWatcher); ok {
+		d.unwatchLinks = lw.WatchLinks(func(ev netback.LinkEvent) {
+			if !ev.Up {
+				return
+			}
+			var peer addr.SiteID
+			switch d.site {
+			case ev.A:
+				peer = ev.B
+			case ev.B:
+				peer = ev.A
+			default:
+				return
+			}
+			d.mu.Lock()
+			closed := d.closed
+			d.mu.Unlock()
+			if !closed {
+				d.sendHeartbeat(peer)
+			}
+		})
+	}
 	d.wg.Add(1)
 	go d.runResolicitScan()
 	return d, nil
@@ -425,7 +458,7 @@ func (d *Daemon) Close() {
 		d.det.Stop()
 	}
 	d.tr.Close()
-	d.net.RemoveSite(d.site)
+	d.ep.Close()
 	for _, p := range procs {
 		close(p.queue)
 	}
@@ -670,10 +703,22 @@ func (d *Daemon) failCallsTo(s addr.SiteID) {
 	}
 }
 
-// respond delivers a response to a pending call, if it still exists.
+// respond delivers a response to a pending call, if it still exists. A
+// response for a call that already gave up — a relayed CBCAST whose caller
+// timed out — is routed to the relay-repair reconciler instead of being
+// dropped: a late refusal means a FIFO sequence number was consumed for a
+// message no receiver will ever see, and the hole must be repaired.
 func (d *Daemon) respond(callID int64, m *msg.Message) {
 	d.mu.Lock()
 	ch, ok := d.calls[callID]
+	if !ok {
+		if lr, tracked := d.lostRelays[callID]; tracked {
+			delete(d.lostRelays, callID)
+			d.mu.Unlock()
+			d.reconcileLostRelay(lr, m)
+			return
+		}
+	}
 	d.mu.Unlock()
 	if ok {
 		select {
@@ -802,6 +847,10 @@ func (d *Daemon) onDetectorEvent(ev fdetect.Event) {
 		if d.cfg.Merge == MergeAuto {
 			d.mergeNonPrimaryGroups()
 		}
+		// Parked rejoins retry regardless of the merge policy: each one
+		// continues a merge that was already initiated (automatically or by
+		// an explicit MergeGroup call) and then stalled.
+		go d.retryParkedMerges()
 	}
 }
 

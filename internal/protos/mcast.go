@@ -325,13 +325,16 @@ func (d *Daemon) relayExternalMulticast(sender addr.Address, lp *localProc, prot
 			d.counters.CBCASTs++
 			d.mu.Unlock()
 			pkt.PutInt(fExtSeq, int64(extSeq))
-			err = d.relayCall(coord.Site, pkt)
+			err = d.relayCBCASTCall(coord.Site, pkt, lp, gid, extSeq)
 			if err != nil && !errors.Is(err, ErrTimeout) && !errors.Is(err, errSiteFailed) {
 				// An explicit refusal (or a send failure): no receiver
 				// consumed the sequence, so roll the counter back. On a
 				// timeout or a detector abort the relay is still queued in
 				// the reliable transport and may yet be delivered, so its
-				// number must stand.
+				// number must stand — the call remains tracked in
+				// d.lostRelays and a late refusal is reconciled there
+				// (rollback, or a null filler once later numbers exist; see
+				// relayrepair.go).
 				d.mu.Lock()
 				lp.extSeq[gid]--
 				d.counters.CBCASTs--
@@ -711,6 +714,8 @@ func (d *Daemon) runResolicitScan() {
 			return
 		case <-t.C:
 			d.resolicitStragglers()
+			d.kickRelayRepair()
+			d.kickMergeRetry()
 		}
 	}
 }
@@ -925,8 +930,12 @@ func (d *Daemon) buildDelivery(payload *msg.Message, sender, group addr.Address,
 }
 
 // deliverDataLocked delivers a group data packet to one local member. Caller
-// holds d.mu.
+// holds d.mu. A null hole-filler (fNull) consumes its place in the ordering
+// queues — that is its entire job — but is never handed to the application.
 func (d *Daemon) deliverDataLocked(ms *memberState, pkt *msg.Message) {
+	if pkt.GetInt(fNull, 0) == 1 {
+		return
+	}
 	entry := addr.EntryID(pkt.GetInt(fEntry, 0))
 	payload := pkt.GetMessage(fPayload)
 	if payload == nil {

@@ -167,45 +167,186 @@ func (d *Daemon) mergeGroup(gid addr.Address) error {
 
 	var firstErr error
 	for _, r := range rejoins {
-		if r.inPrimary {
-			// The primary still lists this member (it healed before the
-			// removal committed): purge the stale entry first, so the rejoin
-			// runs the full join protocol — rebuilding the member's ordering
-			// state everywhere — instead of no-opping against the existing
-			// membership.
-			var lerr error
-			for attempt := 0; attempt < mergeRetries; attempt++ {
-				if lerr = d.Leave(r.proc, gid); lerr == nil {
-					break
-				}
-				time.Sleep(50 * time.Millisecond)
+		if err := d.rejoinMember(gid, r.proc, r.recv, r.inPrimary); err != nil {
+			if firstErr == nil {
+				firstErr = err
 			}
-			if lerr != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("protos: merge purge of %v: %w", r.proc, lerr)
-				}
-				continue
-			}
-		}
-		var err error
-		for attempt := 0; attempt < mergeRetries; attempt++ {
-			_, err = d.Join(r.proc, gid, JoinOptions{
-				WantState:     r.recv != nil,
-				StateReceiver: r.recv,
-			})
-			if err == nil {
-				break
-			}
-			time.Sleep(50 * time.Millisecond)
-		}
-		if err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("protos: merge rejoin of %v: %w", r.proc, err)
+			// The local copy is gone and the rejoin exhausted its retries:
+			// without parking, this live process would stay unhosted until
+			// an application-level intervention. Recovery events and the
+			// periodic scan re-attempt parked rejoins.
+			d.parkRejoin(gid, r.proc, r.recv)
 		}
 	}
 	if firstErr == nil {
 		d.notifyPrimary(gid, true)
 	}
 	return firstErr
+}
+
+// rejoinMember runs the rejoin protocol for one member of a discarded group
+// copy: when the primary still lists the member (the partition healed before
+// the removal committed) the stale entry is purged first, so the rejoin runs
+// the full join protocol — rebuilding the member's ordering state everywhere
+// — instead of no-opping against the existing membership.
+func (d *Daemon) rejoinMember(gid, proc addr.Address, recv func(block []byte, last bool), listed bool) error {
+	if listed {
+		var lerr error
+		for attempt := 0; attempt < mergeRetries; attempt++ {
+			if lerr = d.Leave(proc, gid); lerr == nil {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if lerr != nil {
+			return fmt.Errorf("protos: merge purge of %v: %w", proc, lerr)
+		}
+	}
+	var err error
+	for attempt := 0; attempt < mergeRetries; attempt++ {
+		_, err = d.Join(proc, gid, JoinOptions{
+			WantState:     recv != nil,
+			StateReceiver: recv,
+		})
+		if err == nil {
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("protos: merge rejoin of %v: %w", proc, err)
+}
+
+// parkKey identifies one parked rejoin: a member left unhosted after its
+// group copy was discarded by a merge whose rejoin phase failed.
+type parkKey struct {
+	gid  addr.Address
+	proc addr.Address
+}
+
+// parkedRejoin is the retained context of a failed rejoin.
+type parkedRejoin struct {
+	gid  addr.Address
+	proc addr.Address
+	recv func(block []byte, last bool)
+}
+
+// parkRejoin records a member whose merge rejoin exhausted its retries so a
+// later recovery event or scan tick can try again.
+func (d *Daemon) parkRejoin(gid, proc addr.Address, recv func(block []byte, last bool)) {
+	d.mu.Lock()
+	if !d.closed {
+		k := parkKey{gid: gid.Base(), proc: proc.Base()}
+		d.parkedMerges[k] = parkedRejoin{gid: k.gid, proc: k.proc, recv: recv}
+	}
+	d.mu.Unlock()
+}
+
+// PendingMerges returns the groups with members parked after a failed merge
+// rejoin, awaiting the automatic retry.
+func (d *Daemon) PendingMerges() []addr.Address {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	seen := make(map[addr.Address]bool)
+	var gids []addr.Address
+	for k := range d.parkedMerges {
+		if !seen[k.gid] {
+			seen[k.gid] = true
+			gids = append(gids, k.gid)
+		}
+	}
+	return gids
+}
+
+// kickMergeRetry re-attempts parked rejoins; called from the resolicit scan
+// tick so a primary that becomes reachable (or resumes from a total wedge)
+// without a fresh recovery event is still picked up.
+func (d *Daemon) kickMergeRetry() {
+	d.mu.Lock()
+	pending := len(d.parkedMerges) > 0 && !d.retryingMerges && !d.closed
+	d.mu.Unlock()
+	if pending {
+		go d.retryParkedMerges()
+	}
+}
+
+// retryParkedMerges re-runs the rejoin protocol for every parked member. At
+// most one retry pass runs at a time; members that rejoin (or turn out to be
+// hosted again, or dead) are unparked, the rest stay for the next pass.
+func (d *Daemon) retryParkedMerges() {
+	d.mu.Lock()
+	if d.retryingMerges || d.closed || len(d.parkedMerges) == 0 {
+		d.mu.Unlock()
+		return
+	}
+	d.retryingMerges = true
+	parked := make([]parkedRejoin, 0, len(d.parkedMerges))
+	for _, p := range d.parkedMerges {
+		parked = append(parked, p)
+	}
+	d.mu.Unlock()
+
+	for _, p := range parked {
+		done, notify := d.retryParkedRejoin(p)
+		if !done {
+			continue
+		}
+		d.mu.Lock()
+		delete(d.parkedMerges, parkKey{gid: p.gid, proc: p.proc})
+		last := true
+		for k := range d.parkedMerges {
+			if k.gid == p.gid {
+				last = false
+				break
+			}
+		}
+		d.mu.Unlock()
+		if notify && last {
+			// The group's merge is finally whole: deliver the primary-status
+			// transition the original merge withheld while rejoins failed.
+			d.notifyPrimary(p.gid, true)
+		}
+	}
+
+	d.mu.Lock()
+	d.retryingMerges = false
+	d.mu.Unlock()
+}
+
+// retryParkedRejoin re-attempts one parked rejoin. It reports whether the
+// entry is resolved (rejoined, already hosted, or moot) and whether the
+// resolution was an actual rejoin worth a primary-status notification.
+func (d *Daemon) retryParkedRejoin(p parkedRejoin) (done, notify bool) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return true, false
+	}
+	if lp, ok := d.procs[p.proc]; !ok || !lp.alive {
+		// The process died while parked; its membership died with it.
+		d.mu.Unlock()
+		return true, false
+	}
+	if gs, ok := d.groups[p.gid]; ok {
+		if _, member := gs.members[p.proc]; member {
+			// Hosted again — an earlier retry or an application-level join
+			// got there first.
+			d.mu.Unlock()
+			return true, false
+		}
+	}
+	d.mu.Unlock()
+
+	// The membership listing must be re-evaluated against the primary's
+	// current view: the removal that was pending at park time may have
+	// committed (or not) since.
+	view, err := d.refreshView(p.gid)
+	if err != nil {
+		return false, false
+	}
+	if err := d.rejoinMember(p.gid, p.proc, p.recv, view.Contains(p.proc)); err != nil {
+		return false, false
+	}
+	return true, true
 }
 
 // groupSurvey is the outcome of polling every attached site for a group: a
@@ -347,14 +488,9 @@ func (d *Daemon) resumeWedged(gid addr.Address, staleView core.View, wedged map[
 // but its copy of the group never wedged). The member rejoins through the
 // ordinary join machinery, pulling fresh state if it has a receiver.
 func (d *Daemon) rejoinRemovedMember(gid addr.Address, proc addr.Address, recv func(block []byte, last bool)) {
-	for attempt := 0; attempt < mergeRetries; attempt++ {
-		_, err := d.Join(proc, gid, JoinOptions{
-			WantState:     recv != nil,
-			StateReceiver: recv,
-		})
-		if err == nil {
-			return
-		}
-		time.Sleep(50 * time.Millisecond)
+	if err := d.rejoinMember(gid, proc, recv, false); err != nil {
+		// Same exposure as a failed merge rejoin: the process is live but
+		// unhosted. Park it for the recovery-event / scan-tick retry.
+		d.parkRejoin(gid, proc, recv)
 	}
 }

@@ -10,45 +10,84 @@ import (
 	"repro/internal/core"
 	"repro/internal/fdetect"
 	"repro/internal/msg"
+	"repro/internal/netback"
 	"repro/internal/simnet"
 )
 
-// testCluster wires up a network and a daemon per site.
+// testCluster wires up a network and a daemon per site. net is the simnet
+// fault-injection handle, nil when the cluster runs on another backend (the
+// protos-level backend conformance test in backend_test.go); fabric is the
+// backend-neutral view every daemon attaches to.
 type testCluster struct {
 	t       *testing.T
 	net     *simnet.Network
+	fabric  netback.Network
 	daemons map[addr.SiteID]*Daemon
+	lastInc map[addr.SiteID]addr.Incarnation
+}
+
+// testDetectorConfig is the aggressive failure-detector tuning every protos
+// test runs with.
+func testDetectorConfig() fdetect.Config {
+	return fdetect.Config{
+		HeartbeatInterval: 10 * time.Millisecond,
+		InitialTimeout:    150 * time.Millisecond,
+		MinTimeout:        100 * time.Millisecond,
+		MaxTimeout:        500 * time.Millisecond,
+		DeviationFactor:   4,
+	}
 }
 
 func newTestCluster(t *testing.T, sites int) *testCluster {
 	t.Helper()
-	net := simnet.New(simnet.FastConfig())
-	tc := &testCluster{t: t, net: net, daemons: make(map[addr.SiteID]*Daemon)}
+	return newTestClusterOn(t, simnet.New(simnet.FastConfig()), sites)
+}
+
+// newTestClusterOn builds a cluster on an arbitrary backend fabric.
+func newTestClusterOn(t *testing.T, fab netback.Network, sites int) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		t:       t,
+		fabric:  fab,
+		daemons: make(map[addr.SiteID]*Daemon),
+		lastInc: make(map[addr.SiteID]addr.Incarnation),
+	}
+	if sn, ok := fab.(*simnet.Network); ok {
+		tc.net = sn
+	}
 	for i := 1; i <= sites; i++ {
-		d, err := New(Config{
-			Site:        addr.SiteID(i),
-			Network:     net,
-			CallTimeout: 2 * time.Second,
-			Detector: fdetect.Config{
-				HeartbeatInterval: 10 * time.Millisecond,
-				InitialTimeout:    150 * time.Millisecond,
-				MinTimeout:        100 * time.Millisecond,
-				MaxTimeout:        500 * time.Millisecond,
-				DeviationFactor:   4,
-			},
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		tc.daemons[addr.SiteID(i)] = d
+		tc.addSite(addr.SiteID(i))
 	}
 	t.Cleanup(func() {
 		for _, d := range tc.daemons {
 			d.Close()
 		}
-		net.Close()
+		fab.Close()
 	})
 	return tc
+}
+
+// addSite starts a daemon at the given site id; a site id used before comes
+// back with a bumped incarnation, as a real restart would.
+func (tc *testCluster) addSite(id addr.SiteID) *Daemon {
+	tc.t.Helper()
+	inc := addr.Incarnation(0)
+	if last, ok := tc.lastInc[id]; ok {
+		inc = last + 1
+	}
+	d, err := New(Config{
+		Site:        id,
+		Incarnation: inc,
+		Network:     tc.fabric,
+		CallTimeout: 2 * time.Second,
+		Detector:    testDetectorConfig(),
+	})
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	tc.lastInc[id] = inc
+	tc.daemons[id] = d
+	return d
 }
 
 // testProc is a registered process that records what it receives.

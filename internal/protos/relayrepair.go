@@ -1,0 +1,299 @@
+package protos
+
+// Relayed-CBCAST FIFO repair.
+//
+// A non-member CBCAST consumes a per-(sender, group) FIFO sequence number
+// before the relay is shipped to the coordinator. Receivers deliver external
+// messages strictly in sequence order, so a number consumed by a message
+// that is never fanned out is a hole that stalls every later relayed CBCAST
+// from that sender. A synchronous refusal is easy: the sender still holds
+// relayMu, no later number exists, and the counter is simply rolled back.
+// The hard case is a relay whose call TIMES OUT (or is aborted by the
+// failure detector) and whose refusal arrives only later — by then the
+// sender may have handed out later numbers, so the counter cannot be rolled
+// back. This file reconciles that case:
+//
+//   - every remote relay is tracked in d.lostRelays by call id before the
+//     request reaches the wire, so a response that arrives after the caller
+//     gave up still finds the sequence number it was for;
+//   - a late acceptance needs nothing — the coordinator fanned the message
+//     out and the number stands;
+//   - a late refusal is repaired under relayMu: if no later number was
+//     handed out the counter is rolled back exactly as a synchronous
+//     refusal would have been, otherwise a null filler message (fNull) is
+//     relayed carrying the orphaned sequence number — it advances every
+//     receiver's expected sequence but is never handed to the application;
+//   - a filler whose own outcome is unknown parks the hole in d.relayHoles
+//     and the resolicit scan retries it; duplicate fillers are harmless
+//     because receivers drop external sequences below their expectation.
+import (
+	"errors"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/msg"
+)
+
+// lostRelay identifies the FIFO sequence a tracked relay call consumed.
+type lostRelay struct {
+	lp  *localProc
+	gid addr.Address
+	seq uint64
+}
+
+// relayHoleKey dedupes parked holes: at most one repair is outstanding per
+// consumed sequence number.
+type relayHoleKey struct {
+	proc addr.Address
+	gid  addr.Address
+	seq  uint64
+}
+
+func (lr lostRelay) key() relayHoleKey {
+	return relayHoleKey{proc: lr.lp.addr.Base(), gid: lr.gid, seq: lr.seq}
+}
+
+// maxLostRelays bounds the tracking table. Entries persist only for calls
+// that ended in timeout or detector abort, so the bound is a backstop
+// against a long-partitioned coordinator, not a working-set size.
+const maxLostRelays = 512
+
+// trackLostRelayLocked registers a relay call whose sequence number must be
+// reconciled if a response arrives after the caller gave up. Caller holds
+// d.mu.
+func (d *Daemon) trackLostRelayLocked(id int64, lr lostRelay) {
+	d.lostRelays[id] = lr
+	d.lostRelayOrder = append(d.lostRelayOrder, id)
+	for len(d.lostRelays) > maxLostRelays && len(d.lostRelayOrder) > 0 {
+		old := d.lostRelayOrder[0]
+		d.lostRelayOrder = d.lostRelayOrder[1:]
+		delete(d.lostRelays, old)
+	}
+	// The order slice keeps ids of entries untracked on a synchronous
+	// outcome; compact it before it outgrows the map it bounds.
+	if len(d.lostRelayOrder) > 4*maxLostRelays {
+		live := d.lostRelayOrder[:0]
+		for _, oid := range d.lostRelayOrder {
+			if _, ok := d.lostRelays[oid]; ok {
+				live = append(live, oid)
+			}
+		}
+		d.lostRelayOrder = live
+	}
+}
+
+func (d *Daemon) untrackLostRelay(id int64) {
+	d.mu.Lock()
+	delete(d.lostRelays, id)
+	d.mu.Unlock()
+}
+
+// relayCBCASTCall ships a relayed CBCAST (which has consumed FIFO sequence
+// seq) to the coordinator site and waits for the acknowledgement. Unlike the
+// generic call path it keeps the exchange tracked in d.lostRelays whenever
+// the outcome is unknown — timeout, or a failure-detector abort — so a
+// response that arrives after this function returns is reconciled by
+// respond/reconcileLostRelay instead of dropped.
+func (d *Daemon) relayCBCASTCall(site addr.SiteID, pkt *msg.Message, lp *localProc, gid addr.Address, seq uint64) error {
+	if site == d.site {
+		// The local path is synchronous: the outcome is known before the
+		// call returns, so no tracking is needed (mirrors relayCall).
+		for {
+			err := d.relayMulticast(d.site, pkt, false)
+			if !errors.Is(err, errRelayHeld) {
+				return err
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	id, ch := d.newCall()
+	d.mu.Lock()
+	d.callSite[id] = site
+	// Track before the request can reach the wire: a response cannot race
+	// past a registration that precedes the send.
+	d.trackLostRelayLocked(id, lostRelay{lp: lp, gid: gid, seq: seq})
+	d.mu.Unlock()
+	pkt.PutInt(fCall, id)
+	if err := d.sendPacket(site, ptData, pkt); err != nil {
+		d.untrackLostRelay(id)
+		d.dropCall(id)
+		return err
+	}
+	settle := func(resp *msg.Message) error {
+		if !resp.Has(fErr) {
+			d.untrackLostRelay(id)
+			return nil
+		}
+		err := wireError("protos: remote error: %s", resp.GetString(fErr, "unknown"))
+		if errors.Is(err, errSiteFailed) {
+			// Detector abort: the request is still queued in the reliable
+			// transport and may yet be delivered either way. Keep the entry
+			// tracked so the real response reconciles the sequence.
+			return err
+		}
+		d.untrackLostRelay(id)
+		return err
+	}
+	select {
+	case resp := <-ch:
+		d.dropCall(id)
+		return settle(resp)
+	case <-time.After(d.cfg.CallTimeout):
+		// Unregister the call first, then drain: a response delivered to the
+		// channel in the race window is handled here, and anything later is
+		// routed through d.lostRelays by respond.
+		d.dropCall(id)
+		select {
+		case resp := <-ch:
+			return settle(resp)
+		default:
+			return ErrTimeout
+		}
+	}
+}
+
+// reconcileLostRelay handles a relay response that arrived after its caller
+// gave up. Runs on the transport handler goroutine; d.mu is not held.
+func (d *Daemon) reconcileLostRelay(lr lostRelay, resp *msg.Message) {
+	if !resp.Has(fErr) {
+		// Late acceptance: the coordinator fanned the message out and every
+		// receiver consumes the sequence. Nothing to repair.
+		return
+	}
+	err := wireError("protos: remote error: %s", resp.GetString(fErr, "unknown"))
+	if errors.Is(err, errSiteFailed) {
+		// Defensive: detector aborts are injected into call channels, never
+		// through respond, so this cannot happen — but if it did, the
+		// outcome would still be unknown and repairing would be wrong.
+		return
+	}
+	// A confirmed refusal: no receiver will ever consume the sequence.
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.relayHoles[lr.key()] = lr
+	d.mu.Unlock()
+	go d.repairRelayHoles()
+}
+
+// kickRelayRepair retries parked holes; called from the resolicit scan so a
+// filler lost to a coordinator crash is eventually re-sent.
+func (d *Daemon) kickRelayRepair() {
+	d.mu.Lock()
+	pending := len(d.relayHoles) > 0 && !d.repairingHoles && !d.closed
+	d.mu.Unlock()
+	if pending {
+		go d.repairRelayHoles()
+	}
+}
+
+// repairRelayHoles drains d.relayHoles. At most one drain runs at a time
+// (repairingHoles), so concurrent late refusals and scan ticks cannot race
+// two repairs of the same hole.
+func (d *Daemon) repairRelayHoles() {
+	d.mu.Lock()
+	if d.repairingHoles || d.closed || len(d.relayHoles) == 0 {
+		d.mu.Unlock()
+		return
+	}
+	d.repairingHoles = true
+	holes := make([]lostRelay, 0, len(d.relayHoles))
+	for _, lr := range d.relayHoles {
+		holes = append(holes, lr)
+	}
+	d.mu.Unlock()
+	for _, lr := range holes {
+		if d.repairRelayHole(lr) {
+			d.mu.Lock()
+			delete(d.relayHoles, lr.key())
+			d.mu.Unlock()
+		}
+	}
+	d.mu.Lock()
+	d.repairingHoles = false
+	more := len(d.relayHoles) > 0 && !d.closed
+	d.mu.Unlock()
+	if more {
+		// A refusal parked a new hole while this drain ran; the scan tick
+		// would get to it, but there is no reason to wait.
+		go d.repairRelayHoles()
+	}
+}
+
+// repairRelayHole resolves one confirmed-refused sequence number. Returns
+// true when the hole no longer needs tracking. Takes relayMu, so repairs
+// serialize with the sender's ongoing relays: the rollback-vs-filler
+// decision is made against a frozen counter.
+func (d *Daemon) repairRelayHole(lr lostRelay) bool {
+	lp := lr.lp
+	lp.relayMu.Lock()
+	defer lp.relayMu.Unlock()
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return true
+	}
+	if lp.extSeq[lr.gid] == lr.seq {
+		// No later number was handed out: undo the refusal the cheap way,
+		// exactly as a synchronous refusal would have been.
+		lp.extSeq[lr.gid]--
+		d.counters.CBCASTs--
+		d.mu.Unlock()
+		return true
+	}
+	d.mu.Unlock()
+	return d.sendNullRelay(lp, lr.gid, lr.seq)
+}
+
+// sendNullRelay fills an orphaned FIFO sequence with a null message: a
+// relayed CBCAST carrying fNull that consumes the sequence in every
+// receiver's external-sender queue but is never delivered to applications
+// (deliverDataLocked drops it). Returns true when the filler was accepted.
+func (d *Daemon) sendNullRelay(lp *localProc, gid addr.Address, seq uint64) bool {
+	view, ok := d.CurrentView(gid)
+	if !ok {
+		v, err := d.refreshView(gid)
+		if err != nil {
+			return false
+		}
+		view = v
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		d.mu.Lock()
+		coord := d.actingCoordinator(view)
+		lp.nextSeq++
+		id := core.MsgID{Sender: lp.addr.Base(), Seq: lp.nextSeq}
+		d.mu.Unlock()
+		if coord.IsNil() {
+			return false
+		}
+		pkt := d.buildDataPacket(CBCAST, gid, view.ID, id, lp.addr, -1, 0, msg.New())
+		pkt.PutInt(fRelay, 1)
+		pkt.PutInt(fNull, 1)
+		pkt.PutInt(fExtSeq, int64(seq))
+		err := d.relayCBCASTCall(coord.Site, pkt, lp, gid, seq)
+		switch {
+		case err == nil:
+			return true
+		case (errors.Is(err, ErrUnknownGroup) || errors.Is(err, ErrNonPrimary)) && attempt == 0:
+			// The cached view is stale: the site asked no longer hosts the
+			// group, or its copy is wedged in a minority. The primary's
+			// sites answer the refresh with a higher view id, which wins
+			// the cache; the scan retries if the refresh races them.
+			if v, rerr := d.refreshView(gid); rerr == nil {
+				view = v
+				continue
+			}
+			return false
+		default:
+			// Timeout / detector abort leaves the filler tracked in
+			// lostRelays and the hole parked; the scan retries. A duplicate
+			// filler is harmless — receivers drop stale external sequences.
+			return false
+		}
+	}
+	return false
+}

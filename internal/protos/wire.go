@@ -116,6 +116,7 @@ const (
 	fXferID    = "&xferid"  // state-transfer attempt id (the view id the provider shipped under)
 	fDead      = "&dead"    // prepare ack: removal targets this site confirms dead
 	fAttempt   = "&attempt" // ABCAST protocol attempt (bumped by a fence restart)
+	fNull      = "&nullseq" // null relayed CBCAST: consumes its FIFO sequence, carries no app message
 	fPrimary   = "&primary" // lookup response: the answering site's copy is primary
 	fFound     = "&found"   // lookup response: the answering site hosts the group
 	fSite      = "&site"    // lookup response: the answering site's id

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/addr"
+	"repro/internal/netback"
 )
 
 // SiteID aliases the address package's site identifier.
@@ -82,12 +83,10 @@ func LossyConfig(rate float64, seed int64) Config {
 	return c
 }
 
-// Packet is one datagram travelling between sites.
-type Packet struct {
-	From    SiteID
-	To      SiteID
-	Payload []byte
-}
+// Packet is one datagram travelling between sites. It aliases the
+// backend-neutral packet type, so a simnet endpoint satisfies
+// netback.Endpoint directly.
+type Packet = netback.Packet
 
 // Errors returned by Send.
 var (
@@ -191,6 +190,21 @@ func (n *Network) AddSite(id SiteID) *Endpoint {
 	return ep
 }
 
+// Attach connects a site to the network as a netback.Network fabric would:
+// it is AddSite under the backend-neutral signature. The epoch is ignored —
+// the simulated network needs no connection handshake, and incarnation
+// handling lives in the transport's stream epochs.
+func (n *Network) Attach(id SiteID, epoch uint64) (netback.Endpoint, error) {
+	_ = epoch
+	return n.AddSite(id), nil
+}
+
+// Profile returns the network's physical parameters in backend-neutral
+// form, for deriving the transport configuration.
+func (n *Network) Profile() netback.Profile {
+	return netback.Profile{MaxPacket: n.cfg.MaxPacket, Delay: n.cfg.InterSiteDelay}
+}
+
 // RemoveSite detaches a site, modelling a site crash. Packets already in
 // flight toward it are discarded at delivery time.
 func (n *Network) RemoveSite(id SiteID) {
@@ -268,11 +282,10 @@ func (n *Network) Close() {
 
 // LinkEvent reports an injected partition being installed (Up=false) or
 // healed (Up=true) on the undirected (A, B) link. Watchers registered with
-// WatchLinks receive one event per pair, not per direction.
-type LinkEvent struct {
-	A, B SiteID
-	Up   bool
-}
+// WatchLinks receive one event per pair, not per direction. It aliases the
+// backend-neutral event type, so the simulated network satisfies
+// netback.LinkWatcher.
+type LinkEvent = netback.LinkEvent
 
 // WatchLinks registers a callback invoked whenever a partition is injected
 // or healed, and returns a function that unregisters it. The protocols
@@ -586,8 +599,17 @@ func (e *Endpoint) Send(to SiteID, payload []byte) error {
 	return e.net.send(e.id, to, payload)
 }
 
-// Close detaches the endpoint from the network.
-func (e *Endpoint) Close() { e.net.RemoveSite(e.id) }
+// Close detaches the endpoint from the network. Only this endpoint is
+// detached: if the site id has already been re-attached (a restart replaced
+// this endpoint), the successor endpoint keeps receiving.
+func (e *Endpoint) Close() {
+	e.net.mu.Lock()
+	if cur, ok := e.net.endpoints[e.id]; ok && cur == e {
+		delete(e.net.endpoints, e.id)
+	}
+	e.net.mu.Unlock()
+	e.markClosed()
+}
 
 func (e *Endpoint) markClosed() {
 	e.mu.Lock()

@@ -555,7 +555,12 @@ func TestWatchLinksReportsPartitionAndHeal(t *testing.T) {
 
 	mu.Lock()
 	defer mu.Unlock()
-	want := []LinkEvent{{1, 2, false}, {1, 2, true}, {3, 4, false}, {5, 6, false}}
+	want := []LinkEvent{
+		{A: 1, B: 2, Up: false},
+		{A: 1, B: 2, Up: true},
+		{A: 3, B: 4, Up: false},
+		{A: 5, B: 6, Up: false},
+	}
 	if len(evs) < 4 {
 		t.Fatalf("events = %v", evs)
 	}
@@ -569,7 +574,7 @@ func TestWatchLinksReportsPartitionAndHeal(t *testing.T) {
 	for _, ev := range evs[4:] {
 		up[ev] = true
 	}
-	if len(evs[4:]) != 2 || !up[LinkEvent{3, 4, true}] || !up[LinkEvent{5, 6, true}] {
+	if len(evs[4:]) != 2 || !up[LinkEvent{A: 3, B: 4, Up: true}] || !up[LinkEvent{A: 5, B: 6, Up: true}] {
 		t.Errorf("HealAll events = %v", evs[4:])
 	}
 }

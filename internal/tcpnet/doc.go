@@ -1,0 +1,19 @@
+// Package tcpnet is the real-wire network backend: it carries the
+// transport's packets over kernel TCP sockets as length-prefixed frames,
+// implementing the netback fabric contract that internal/simnet implements
+// in simulation.
+//
+// Each attached site owns one listener; peers are connected lazily with one
+// duplex connection per site pair. When both sides dial simultaneously the
+// duplicate is resolved deterministically — the connection dialed by the
+// lower-numbered site wins — so both ends settle on the same socket. Every
+// connection opens with an epoch handshake (magic, version, site id,
+// incarnation epoch): a connection presenting an epoch lower than the
+// highest already seen from that site is a straggler of a dead incarnation
+// and is refused, while a higher epoch announces a restarted peer and
+// replaces the established connection. The reliable transport above this
+// backend supplies retransmission and duplicate suppression, so the backend
+// is deliberately lossy at the edges: frames queued for a dead connection
+// are dropped and redelivery is the transport's job, which is exactly the
+// datagram contract netback specifies.
+package tcpnet

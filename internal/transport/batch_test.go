@@ -46,11 +46,11 @@ func TestCoalescingUnderLoad(t *testing.T) {
 // unacked window still drains.
 func TestPiggybackedAcks(t *testing.T) {
 	netCfg := simnet.FastConfig()
-	cfg := DefaultConfig(netCfg)
-	cfg.RetransmitInterval = 50 * time.Millisecond
-	cfg.AckDelay = 25 * time.Millisecond // generous window for piggybacking
 	n := simnet.New(netCfg)
 	defer n.Close()
+	cfg := DefaultConfig(n.Profile())
+	cfg.RetransmitInterval = 50 * time.Millisecond
+	cfg.AckDelay = 25 * time.Millisecond // generous window for piggybacking
 	c1, c2 := &collector{}, &collector{}
 	t1, err := New(n.AddSite(1), cfg, c1.handler)
 	if err != nil {
@@ -94,11 +94,11 @@ func TestPiggybackedAcks(t *testing.T) {
 // frame per fragment, nothing coalesced, delivery still reliable and FIFO.
 func TestDisableBatchingAblation(t *testing.T) {
 	netCfg := simnet.FastConfig()
-	cfg := DefaultConfig(netCfg)
-	cfg.RetransmitInterval = 10 * time.Millisecond
-	cfg.DisableBatching = true
 	n := simnet.New(netCfg)
 	defer n.Close()
+	cfg := DefaultConfig(n.Profile())
+	cfg.RetransmitInterval = 10 * time.Millisecond
+	cfg.DisableBatching = true
 	c2 := &collector{}
 	t1, err := New(n.AddSite(1), cfg, nil)
 	if err != nil {
@@ -141,10 +141,10 @@ func BenchmarkTransportThroughput(b *testing.B) {
 			netCfg := simnet.FastConfig()
 			netCfg.SendCPU = 20 * time.Microsecond
 			netCfg.RecvCPU = 20 * time.Microsecond
-			cfg := DefaultConfig(netCfg)
-			cfg.DisableBatching = mode.unbatched
 			n := simnet.New(netCfg)
 			defer n.Close()
+			cfg := DefaultConfig(n.Profile())
+			cfg.DisableBatching = mode.unbatched
 			var delivered atomic.Int64
 			t1, err := New(n.AddSite(1), cfg, nil)
 			if err != nil {

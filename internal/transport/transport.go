@@ -8,11 +8,12 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/simnet"
+	"repro/internal/addr"
+	"repro/internal/netback"
 )
 
 // SiteID aliases the network's site identifier.
-type SiteID = simnet.SiteID
+type SiteID = addr.SiteID
 
 // Handler receives a fully reassembled message from a peer site. Handlers
 // are invoked sequentially per source site, preserving FIFO order.
@@ -20,7 +21,7 @@ type Handler func(from SiteID, data []byte)
 
 // Config holds transport parameters.
 type Config struct {
-	// MaxPacket is the largest simnet payload; messages are fragmented so
+	// MaxPacket is the largest backend payload; messages are fragmented so
 	// that a frame holding one fragment fits within it, and queued fragments
 	// are coalesced into frames up to this size. Defaults to the network's
 	// MaxPacket, or 4096 when the network imposes no limit.
@@ -49,14 +50,14 @@ type Config struct {
 	DisableBatching bool
 }
 
-// DefaultConfig derives a transport configuration from a network
-// configuration.
-func DefaultConfig(net simnet.Config) Config {
-	maxPkt := net.MaxPacket
+// DefaultConfig derives a transport configuration from a backend's
+// physical profile.
+func DefaultConfig(p netback.Profile) Config {
+	maxPkt := p.MaxPacket
 	if maxPkt <= 0 {
 		maxPkt = 4096
 	}
-	rto := 4 * net.InterSiteDelay
+	rto := 4 * p.Delay
 	if rto < 20*time.Millisecond {
 		rto = 20 * time.Millisecond
 	}
@@ -78,8 +79,9 @@ type Stats struct {
 
 // frame kinds.
 const (
-	kindAck   = 2 // pure cumulative ack
-	kindFrame = 3 // batch of sub-packet records with piggybacked ack
+	kindAck      = 2 // pure cumulative ack
+	kindFrame    = 3 // batch of sub-packet records with piggybacked ack
+	kindFrameLow = 4 // kindFrame whose first record is the sender's lowest outstanding sequence
 )
 
 // Header sizes of the wire format above.
@@ -114,6 +116,7 @@ type peerRecv struct {
 	nextExpected uint64            // next in-order sequence number
 	buffered     map[uint64]subRec // out-of-order records awaiting gap fill
 	assembling   []byte            // fragments of the current message
+	delivered    bool              // any record of this epoch delivered in order
 	ackOwed      bool              // a (re-)ack must reach the peer
 	ackTimerSet  bool              // a delayed pure-ack is scheduled
 	ackCh        chan ackNote      // latest-wins mailbox for the ack sender
@@ -134,7 +137,7 @@ type subRec struct {
 // concurrent use.
 type Transport struct {
 	cfg     Config
-	ep      *simnet.Endpoint
+	ep      netback.Endpoint
 	site    SiteID
 	handler Handler
 
@@ -152,10 +155,10 @@ type Transport struct {
 	wg   sync.WaitGroup
 }
 
-// New creates a transport bound to the given network endpoint and starts its
+// New creates a transport bound to the given backend endpoint and starts its
 // receive and retransmission loops. The handler is invoked for every
 // reassembled message; it must not block indefinitely.
-func New(ep *simnet.Endpoint, cfg Config, handler Handler) (*Transport, error) {
+func New(ep netback.Endpoint, cfg Config, handler Handler) (*Transport, error) {
 	if cfg.MaxPacket <= frameHeaderSize+subHeaderSize {
 		return nil, fmt.Errorf("%w: MaxPacket=%d", ErrTooSmall, cfg.MaxPacket)
 	}
@@ -323,7 +326,19 @@ func (t *Transport) runFlusher(to SiteID, ps *peerSend) {
 // piggybacked ack. Caller holds t.mu and guarantees the queue is non-empty.
 func (t *Transport) buildFrameLocked(to SiteID, ps *peerSend, maxRecs int) []byte {
 	frame := make([]byte, 0, t.cfg.MaxPacket)
-	frame = append(frame, kindFrame)
+	// Sequences are contiguous, so the queue head is sentUpTo+1: it is the
+	// stream's lowest outstanding sequence exactly when nothing older is
+	// still awaiting an ack. Receivers may adopt a mid-flight stream only at
+	// such a frame (see handleFrame); the map scan exits on the first older
+	// record, so a deep unacked backlog costs one probe.
+	kind := byte(kindFrameLow)
+	for seq := range ps.unacked {
+		if seq <= ps.sentUpTo {
+			kind = kindFrame
+			break
+		}
+	}
+	frame = append(frame, kind)
 	frame = binary.BigEndian.AppendUint64(frame, ps.epoch)
 	ackEpoch, ackCum := t.takeAckLocked(to)
 	frame = binary.BigEndian.AppendUint64(frame, ackEpoch)
@@ -425,15 +440,20 @@ func (t *Transport) retransmit() {
 		}
 		r := resend{to: to}
 		var frame []byte
+		// The sweep runs in sequence order, so its first frame leads with the
+		// stream's lowest outstanding sequence (queued records are all above
+		// sentUpTo) and carries the adoption flag.
+		kind := byte(kindFrameLow)
 		for _, seq := range seqs {
 			rec := ps.unacked[seq]
 			if frame != nil && len(frame)+len(rec) > t.cfg.MaxPacket {
 				r.frames = append(r.frames, frame)
 				frame = nil
+				kind = kindFrame
 			}
 			if frame == nil {
 				frame = make([]byte, 0, t.cfg.MaxPacket)
-				frame = append(frame, kindFrame)
+				frame = append(frame, kind)
 				frame = binary.BigEndian.AppendUint64(frame, ps.epoch)
 				frame = binary.BigEndian.AppendUint64(frame, ackEpoch)
 				frame = binary.BigEndian.AppendUint64(frame, cum)
@@ -455,7 +475,7 @@ func (t *Transport) retransmit() {
 	}
 }
 
-func (t *Transport) handlePacket(pkt simnet.Packet) {
+func (t *Transport) handlePacket(pkt netback.Packet) {
 	if len(pkt.Payload) == 0 {
 		return
 	}
@@ -465,7 +485,7 @@ func (t *Transport) handlePacket(pkt simnet.Packet) {
 			return
 		}
 		t.applyAck(pkt.From, binary.BigEndian.Uint64(pkt.Payload[1:9]), binary.BigEndian.Uint64(pkt.Payload[9:17]))
-	case kindFrame:
+	case kindFrame, kindFrameLow:
 		if len(pkt.Payload) < frameHeaderSize {
 			return
 		}
@@ -500,23 +520,9 @@ func (t *Transport) handleFrame(from SiteID, raw []byte) {
 
 	t.mu.Lock()
 	pr, ok := t.recvs[from]
-	fresh := false
 	if !ok {
 		pr = &peerRecv{epoch: senderEpoch, nextExpected: 1, buffered: make(map[uint64]subRec)}
 		t.recvs[from] = pr
-		fresh = true
-	}
-	if fresh && len(body) >= subHeaderSize {
-		// First contact with a stream already in flight: this side has no
-		// receive state (it restarted, or lost the state), but the sender is
-		// mid-stream. Records below the frame's first sequence number were
-		// retired against our predecessor and will never be retransmitted —
-		// waiting for them would wedge the stream forever — so adopt the
-		// stream at its current position. Per-link FIFO guarantees the first
-		// frame seen carries the lowest outstanding sequence.
-		if first := binary.BigEndian.Uint64(body[0:8]); first > pr.nextExpected {
-			pr.nextExpected = first
-		}
 	}
 	if senderEpoch < pr.epoch {
 		// Straggler from a dead incarnation (or a pre-reset stream): its
@@ -534,6 +540,7 @@ func (t *Transport) handleFrame(from SiteID, raw []byte) {
 		pr.nextExpected = 1
 		pr.buffered = make(map[uint64]subRec)
 		pr.assembling = nil
+		pr.delivered = false
 		if restarted {
 			// The restarted peer's receive state for our stream is gone
 			// too: renumber our stream from 1 under a bumped epoch so the
@@ -542,6 +549,27 @@ func (t *Transport) handleFrame(from SiteID, raw []byte) {
 		}
 	}
 	progress := false
+	if raw[0] == kindFrameLow && !pr.delivered && len(body) >= subHeaderSize {
+		// Contact with a stream already in flight: this side has no receive
+		// state for the numbering (it restarted, or lost the state), but the
+		// sender is mid-stream. Records below the frame's first sequence were
+		// retired against our predecessor and will never be retransmitted —
+		// waiting for them would wedge the stream forever — so adopt the
+		// stream at its current position. Adoption is trusted only on frames
+		// the sender marked as leading with its lowest outstanding sequence:
+		// a fresh frame can outrace the retransmission of an older backlog
+		// (the flusher does not wait for the retransmit tick), and adopting
+		// at such a frame would silently discard the backlog. Once anything
+		// of this epoch has been delivered the stream is established and the
+		// gap-fill machinery owns ordering.
+		if first := binary.BigEndian.Uint64(body[0:8]); first > pr.nextExpected {
+			pr.nextExpected = first
+			// Records between the old and new expectation may already sit in
+			// the buffer (from unflagged frames that arrived first); count the
+			// adoption as progress so they drain now.
+			progress = true
+		}
+	}
 	for len(body) >= subHeaderSize {
 		seq := binary.BigEndian.Uint64(body[0:8])
 		flags := body[8]
@@ -563,7 +591,8 @@ func (t *Transport) handleFrame(from SiteID, raw []byte) {
 			t.stats.DuplicatesDropped++
 			continue
 		}
-		// The simnet delivery owns raw, so sub-slices can be kept directly.
+		// The backend hands ownership of the delivered payload to the
+		// receiver (netback contract), so sub-slices can be kept directly.
 		pr.buffered[seq] = subRec{flags: flags, payload: payload}
 		progress = true
 	}
@@ -578,6 +607,7 @@ func (t *Transport) handleFrame(from SiteID, raw []byte) {
 			}
 			delete(pr.buffered, pr.nextExpected)
 			pr.nextExpected++
+			pr.delivered = true
 			pr.assembling = append(pr.assembling, rec.payload...)
 			if rec.flags&flagLastFragment != 0 {
 				complete = append(complete, pr.assembling)

@@ -48,7 +48,7 @@ func (c *collector) waitFor(t *testing.T, n int, d time.Duration) []string {
 func pair(t *testing.T, netCfg simnet.Config) (*Transport, *Transport, *collector, *collector, func()) {
 	t.Helper()
 	n := simnet.New(netCfg)
-	cfg := DefaultConfig(netCfg)
+	cfg := DefaultConfig(n.Profile())
 	cfg.RetransmitInterval = 10 * time.Millisecond
 	c1, c2 := &collector{}, &collector{}
 	t1, err := New(n.AddSite(1), cfg, c1.handler)
@@ -276,73 +276,10 @@ func TestStatsDelivered(t *testing.T) {
 	_ = t1
 }
 
+// TestPeerRestartMidStream lives in conformance_test.go, where it runs
+// against every backend.
+
 // Property: any payload survives a lossy link intact (content equality).
-func TestPeerRestartMidStream(t *testing.T) {
-	// A peer that restarts mid-stream must not strand the sender's ongoing
-	// stream: the fresh receiver has no receive state, so it adopts the
-	// stream at the first frame's sequence number (records below it were
-	// retired against its predecessor), and once it sends back, the sender
-	// detects the higher incarnation epoch and renumbers.
-	netCfg := simnet.FastConfig()
-	n := simnet.New(netCfg)
-	defer n.Close()
-	cfg := DefaultConfig(netCfg)
-	cfg.RetransmitInterval = 10 * time.Millisecond
-	cfg.Epoch = 1
-	cA, cB := &collector{}, &collector{}
-	trA, err := New(n.AddSite(1), cfg, cA.handler)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer trA.Close()
-	trB, err := New(n.AddSite(2), cfg, cB.handler)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := 0; i < 3; i++ {
-		if err := trA.Send(2, []byte(fmt.Sprintf("pre-%d", i))); err != nil {
-			t.Fatal(err)
-		}
-	}
-	cB.waitFor(t, 3, time.Second)
-
-	// B "crashes" and restarts with a higher incarnation.
-	trB.Close()
-	cfgB := cfg
-	cfgB.Epoch = 2
-	cB2 := &collector{}
-	trB2, err := New(n.AddSite(2), cfgB, cB2.handler)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer trB2.Close()
-
-	// A message sent to the restarted peer before it has ever sent back
-	// travels on A's old stream (sequence 4): the fresh receiver must adopt
-	// the stream position instead of waiting forever for sequences 1-3.
-	if err := trA.Send(2, []byte("to-new-incarnation")); err != nil {
-		t.Fatal(err)
-	}
-	if got := cB2.waitFor(t, 1, 2*time.Second); got[0] != "to-new-incarnation" {
-		t.Errorf("restarted peer received %q", got[0])
-	}
-
-	// Reverse traffic carries the new incarnation's epoch: A resets its
-	// stream to B and both directions keep working.
-	if err := trB2.Send(1, []byte("hello-from-reborn")); err != nil {
-		t.Fatal(err)
-	}
-	if got := cA.waitFor(t, 1, 2*time.Second); got[0] != "hello-from-reborn" {
-		t.Errorf("A received %q", got[0])
-	}
-	if err := trA.Send(2, []byte("post-reset")); err != nil {
-		t.Fatal(err)
-	}
-	if got := cB2.waitFor(t, 2, 2*time.Second); got[1] != "post-reset" {
-		t.Errorf("restarted peer received %v", got)
-	}
-}
-
 func TestPayloadIntegrityProperty(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
