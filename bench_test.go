@@ -182,7 +182,7 @@ func BenchmarkCBCASTAsync(b *testing.B) {
 	payload := isis.Text("x")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := procs[0].Cast(isis.CBCAST, []isis.Address{gid}, isis.EntryUserBase, payload, 0); err != nil {
+		if _, err := procs[0].Cast(isis.CBCAST, []isis.Address{gid}, isis.EntryUserBase, payload); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -196,7 +196,7 @@ func BenchmarkABCASTRoundTrip(b *testing.B) {
 	payload := isis.Text("x")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := procs[0].Cast(isis.ABCAST, []isis.Address{gid}, isis.EntryUserBase, payload, 1); err != nil {
+		if _, err := procs[0].Cast(isis.ABCAST, []isis.Address{gid}, isis.EntryUserBase, payload, isis.Replies(1)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -208,7 +208,7 @@ func BenchmarkGBCAST(b *testing.B) {
 	payload := isis.Text("x")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := procs[0].Cast(isis.GBCAST, []isis.Address{gid}, isis.EntryUserBase, payload, 0); err != nil {
+		if _, err := procs[0].Cast(isis.GBCAST, []isis.Address{gid}, isis.EntryUserBase, payload); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -251,7 +251,7 @@ func BenchmarkAblationBatching(b *testing.B) {
 			payload := isis.Text("x")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := procs[0].Cast(isis.CBCAST, []isis.Address{gid}, isis.EntryUserBase, payload, 0); err != nil {
+				if _, err := procs[0].Cast(isis.CBCAST, []isis.Address{gid}, isis.EntryUserBase, payload); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -312,7 +312,7 @@ func BenchmarkAblationExecutionStyle(b *testing.B) {
 			payload := isis.Text("q")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := client.Cast(isis.CBCAST, []isis.Address{gid}, isis.EntryUserBase, payload, style.want); err != nil {
+				if _, err := client.Cast(isis.CBCAST, []isis.Address{gid}, isis.EntryUserBase, payload, isis.Replies(style.want)); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -12,7 +12,7 @@ import (
 // import the protos package directly in its public signatures.
 type protosJoinOptions = protos.JoinOptions
 
-// All requests replies from every destination of a Cast.
+// All requests replies from every destination of a Cast (Replies(All)).
 const All = -1
 
 // Reply classification values carried in the FReply system field.
@@ -21,19 +21,59 @@ const (
 	replyNull   = 2
 )
 
+// RequestID names a group request for later outcome queries. A Cast with
+// TrackRequest fills one in; Process.Outcome answers what became of it.
+type RequestID int64
+
+// CastOption configures one Cast or Query call.
+type CastOption func(*castOptions)
+
+type castOptions struct {
+	want    int
+	timeout time.Duration
+	track   *RequestID
+}
+
+// Replies makes the Cast wait for n normal replies (or Replies(All) for a
+// reply from every destination) before returning. Without a Replies option a
+// Cast is asynchronous: the caller continues immediately and nil replies are
+// returned.
+func Replies(n int) CastOption { return func(o *castOptions) { o.want = n } }
+
+// CastTimeout overrides the process's configured reply timeout for this one
+// call.
+func CastTimeout(d time.Duration) CastOption { return func(o *castOptions) { o.timeout = d } }
+
+// TrackRequest records the request id the system assigned to this call's
+// group request, so its fate can be queried with Process.Outcome if the call
+// itself fails or times out. The id is filled in even when Cast returns an
+// error, as long as the request was assigned an id before the failure (a
+// zero id means the request never entered the system and cannot have
+// committed). Only GBCAST requests are tracked; for other protocols the id
+// stays zero.
+func TrackRequest(rid *RequestID) CastOption { return func(o *castOptions) { o.track = rid } }
+
 // Cast sends a message to a destination list — typically a group address,
 // possibly plus individual processes — using the selected multicast
 // primitive, and collects replies (Section 3.2 "Broadcasts and group RPC").
 //
-// want selects how many replies the caller needs: 0 performs the broadcast
-// asynchronously (the caller continues immediately and nil is returned), a
-// positive n waits for n normal replies, and All waits for a reply from
-// every destination. Null replies (sent by destinations that do not intend
-// to answer, such as hot standbys) are never returned but count as "this
-// destination has responded", so a caller waiting for All is not delayed by
-// them. If destinations fail before enough replies arrive, Cast returns the
-// replies it has together with ErrNoResponders.
-func (p *Process) Cast(proto Protocol, dests []Address, entry EntryID, m *Message, want int) ([]*Message, error) {
+// With no options the broadcast is asynchronous: the caller continues
+// immediately and nil is returned. Replies(n) waits for n normal replies and
+// Replies(All) for a reply from every destination. Null replies (sent by
+// destinations that do not intend to answer, such as hot standbys) are never
+// returned but count as "this destination has responded", so a caller
+// waiting for All is not delayed by them. If destinations fail before enough
+// replies arrive, Cast returns the replies it has together with
+// ErrNoResponders. CastTimeout bounds the wait per call; TrackRequest makes
+// a GBCAST's fate queryable with Outcome after a failure.
+func (p *Process) Cast(proto Protocol, dests []Address, entry EntryID, m *Message, opts ...CastOption) ([]*Message, error) {
+	o := castOptions{timeout: p.replyTimeout}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.track != nil {
+		*o.track = 0
+	}
 	if !p.Alive() {
 		return nil, ErrProcessKilled
 	}
@@ -43,8 +83,11 @@ func (p *Process) Cast(proto Protocol, dests []Address, entry EntryID, m *Messag
 	payload := m.Clone()
 	payload.StripSystemFields()
 
-	if want == 0 {
-		_, err := p.site.daemon.Multicast(p.addr, proto, addr.List(dests), entry, payload)
+	if o.want == 0 {
+		_, rid, err := p.site.daemon.MulticastRequest(p.addr, proto, addr.List(dests), entry, payload)
+		if o.track != nil {
+			*o.track = RequestID(rid)
+		}
 		return nil, err
 	}
 
@@ -62,16 +105,21 @@ func (p *Process) Cast(proto Protocol, dests []Address, entry EntryID, m *Messag
 	}()
 	payload.PutInt(msg.FSession, session)
 
-	if _, err := p.site.daemon.Multicast(p.addr, proto, addr.List(dests), entry, payload); err != nil {
+	_, rid, err := p.site.daemon.MulticastRequest(p.addr, proto, addr.List(dests), entry, payload)
+	if o.track != nil {
+		*o.track = RequestID(rid)
+	}
+	if err != nil {
 		return nil, err
 	}
-	return p.collectReplies(call, dests, want)
+	return p.collectReplies(call, dests, o.want, o.timeout)
 }
 
 // Query is shorthand for a Cast that waits for exactly one reply and returns
-// it (or nil with an error).
-func (p *Process) Query(proto Protocol, dests []Address, entry EntryID, m *Message) (*Message, error) {
-	replies, err := p.Cast(proto, dests, entry, m, 1)
+// it (or nil with an error). Options other than Replies are honoured (a
+// Replies option is ignored: Query always wants exactly one reply).
+func (p *Process) Query(proto Protocol, dests []Address, entry EntryID, m *Message, opts ...CastOption) (*Message, error) {
+	replies, err := p.Cast(proto, dests, entry, m, append(append([]CastOption{}, opts...), Replies(1))...)
 	if err != nil {
 		return nil, err
 	}
@@ -84,10 +132,10 @@ func (p *Process) Query(proto Protocol, dests []Address, entry EntryID, m *Messa
 // collectReplies waits until the desired number of normal replies has
 // arrived, or every remaining destination has failed or declined (null
 // replies), or the reply timeout expires.
-func (p *Process) collectReplies(call *pendingCall, dests []Address, want int) ([]*Message, error) {
+func (p *Process) collectReplies(call *pendingCall, dests []Address, want int, timeout time.Duration) ([]*Message, error) {
 	var replies []*Message
 	responded := make(map[Address]bool)
-	deadline := time.NewTimer(p.replyTimeout)
+	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
 	recheck := time.NewTicker(5 * time.Millisecond)
 	defer recheck.Stop()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/addr"
+	"repro/internal/events"
 	"repro/internal/fdetect"
 	"repro/internal/netback"
 	"repro/internal/protos"
@@ -116,12 +117,59 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	return c, nil
 }
 
-// Network exposes the simulated LAN (for statistics and fault injection);
-// nil when the cluster runs on a different backend.
-func (c *Cluster) Network() *simnet.Network { return c.sim }
+// Network exposes the simulated LAN (for statistics and simnet-specific
+// fault injection). The boolean reports whether the cluster actually runs on
+// the simnet backend; under BackendTCP it is false and the pointer nil, so
+// callers must check it rather than dereference blindly. Backend-neutral
+// fault injection is available through Fabric (both backends implement
+// netback.FaultInjector).
+func (c *Cluster) Network() (*simnet.Network, bool) { return c.sim, c.sim != nil }
 
 // Fabric exposes the cluster's network backend, whichever kind it is.
 func (c *Cluster) Fabric() netback.Network { return c.fabric }
+
+// Events subscribes to the merged operational event stream of every live
+// site: view installs and commits, primary loss and resumption, partition
+// wedges, merge progress, flushes, ABCAST fences and re-solicitations,
+// takeovers, relay repair, and site up/down transitions. Each event's Site
+// field names the site that observed it. The filter restricts the stream
+// (the zero EventFilter matches everything); the returned cancel
+// unsubscribes every per-site subscription and eventually closes the
+// channel. Events from sites added after the call are not included —
+// subscribe again after growing the cluster. A reader that falls behind
+// loses events rather than stalling the protocols (the per-event Seq field
+// makes per-site gaps detectable).
+func (c *Cluster) Events(f EventFilter) (<-chan Event, func()) {
+	out := make(chan Event, events.DefaultQueue)
+	var cancels []func()
+	var wg sync.WaitGroup
+	for _, s := range c.Sites() {
+		ch, cancel := s.daemon.Events(f, 0)
+		cancels = append(cancels, cancel)
+		wg.Add(1)
+		go func(ch <-chan events.Event) {
+			defer wg.Done()
+			for e := range ch {
+				select {
+				case out <- e:
+				default: // reader fell behind: drop, never stall the source
+				}
+			}
+		}(ch)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	var once sync.Once
+	return out, func() {
+		once.Do(func() {
+			for _, cancel := range cancels {
+				cancel()
+			}
+		})
+	}
+}
 
 // AddSite attaches a new site (or restarts a crashed one with a fresh
 // incarnation) and returns it.
@@ -149,6 +197,9 @@ func (c *Cluster) AddSite(id SiteID) (*Site, error) {
 	})
 	if err != nil {
 		return nil, fmt.Errorf("isis: add site %d: %w", id, err)
+	}
+	if inc > 0 {
+		d.AnnounceRestart()
 	}
 	s := &Site{cluster: c, id: id, incarnation: inc, daemon: d}
 	c.sites[id] = s
@@ -209,13 +260,23 @@ func (c *Cluster) RestartSite(id SiteID) (*Site, error) {
 func (c *Cluster) Counters() Counters {
 	var total Counters
 	for _, s := range c.Sites() {
-		ct := s.daemon.Counters()
-		total.CBCASTs += ct.CBCASTs
-		total.ABCASTs += ct.ABCASTs
-		total.GBCASTs += ct.GBCASTs
-		total.PointToPoints += ct.PointToPoints
-		total.Delivered += ct.Delivered
-		total.ViewChanges += ct.ViewChanges
+		total.Add(s.daemon.Counters())
+	}
+	return total
+}
+
+// EventStats aggregates every live site's event-bus statistics: how many
+// events were published and how many were dropped at slow subscribers.
+func (c *Cluster) EventStats() EventStats {
+	var total EventStats
+	total.ByKind = make(map[EventKind]uint64)
+	for _, s := range c.Sites() {
+		st := s.daemon.EventStats()
+		total.Published += st.Published
+		total.Dropped += st.Dropped
+		for k, n := range st.ByKind {
+			total.ByKind[k] += n
+		}
 	}
 	return total
 }
@@ -246,15 +307,33 @@ func (s *Site) Daemon() *protos.Daemon { return s.daemon }
 // Cluster returns the owning cluster.
 func (s *Site) Cluster() *Cluster { return s.cluster }
 
-// WatchSites registers a callback for failure-detector events observed at
-// this site (used by the recovery manager and the news service).
-func (s *Site) WatchSites(cb func(SiteEvent)) { s.daemon.WatchSites(cb) }
+// Events subscribes to this site's operational event stream. The filter
+// restricts the stream (the zero EventFilter matches everything); the
+// returned cancel unsubscribes and closes the channel. A subscriber that
+// falls behind its bounded queue loses events rather than stalling the
+// protocols; the per-event Seq field makes gaps detectable.
+func (s *Site) Events(f EventFilter) (<-chan Event, func()) {
+	return s.daemon.Events(f, 0)
+}
 
-// WatchPrimary registers a callback for primary-status transitions of the
+// WatchSites invokes the callback for failure-detector events observed at
+// this site (used by the recovery manager and the news service). The
+// returned cancel stops the subscription.
+//
+// Deprecated: subscribe to Events with kinds EventSiteDown / EventSiteUp.
+func (s *Site) WatchSites(cb func(SiteEvent)) (cancel func()) { return s.daemon.WatchSites(cb) }
+
+// WatchPrimary invokes the callback for primary-status transitions of the
 // groups hosted at this site: (gid, false) when a partition strands this
 // site's copy of a group in a read-only minority, (gid, true) when the copy
-// resumes or merges back into the primary partition.
-func (s *Site) WatchPrimary(cb func(gid Address, primary bool)) { s.daemon.WatchPrimary(cb) }
+// resumes or merges back into the primary partition. The returned cancel
+// stops the subscription.
+//
+// Deprecated: subscribe to Events with kinds EventPrimaryLost /
+// EventPrimaryResumed.
+func (s *Site) WatchPrimary(cb func(gid Address, primary bool)) (cancel func()) {
+	return s.daemon.WatchPrimary(cb)
+}
 
 // GroupPrimary reports whether this site's copy of the group is in the
 // primary partition (always true for groups the site does not host).
@@ -273,7 +352,7 @@ func (s *Site) Spawn() (*Process, error) {
 	p := &Process{
 		site:         s,
 		replyTimeout: s.cluster.cfg.ReplyTimeout,
-		monitors:     make(map[Address][]func(View)),
+		monitors:     make(map[Address]map[int]func(View)),
 		pending:      make(map[int64]*pendingCall),
 		providers:    make(map[Address]func() [][]byte),
 	}

@@ -5,6 +5,12 @@
 // ErrNonPrimary); and when the partition heals the minority members merge
 // back automatically — same processes, no restart — rebuilding their state
 // from the primary through the ordinary state-transfer machinery.
+//
+// The whole cycle is traced through the operational event stream
+// (Site.Events): the minority site's wedge, primary loss, merge and
+// primary resumption are printed as they happen, and the run fails if the
+// collected trace is empty or tells the story out of order — the trace is
+// an assertion, not just decoration.
 package main
 
 import (
@@ -83,7 +89,10 @@ func main() {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
-	net := cluster.Network()
+	net, ok := cluster.Network()
+	if !ok {
+		log.Fatal("partition example requires the simnet backend")
+	}
 
 	// A five-member replicated ledger, one member per site. Every member is
 	// both a state provider (it can seed a joiner) and a state receiver (a
@@ -123,7 +132,7 @@ func main() {
 	})
 	fmt.Println("five-member ledger formed; committing w1, w2")
 	for _, w := range []string{"w1", "w2"} {
-		if _, err := members[0].Cast(isis.ABCAST, []isis.Address{gid}, isis.EntryUserBase, isis.Text(w), 0); err != nil {
+		if _, err := members[0].Cast(isis.ABCAST, []isis.Address{gid}, isis.EntryUserBase, isis.Text(w)); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -131,10 +140,22 @@ func main() {
 		return len(ledgers[4].snapshot()) == 2
 	})
 
-	// Watch the minority's primary status flip.
-	cluster.Site(5).WatchPrimary(func(g isis.Address, primary bool) {
-		fmt.Printf("site 5: group primary=%v\n", primary)
-	})
+	// Trace the minority site's view of the partition lifecycle through the
+	// operational event stream (this replaces the old WatchPrimary idiom —
+	// and unlike it, the subscription can be cancelled).
+	events, cancelEvents := cluster.Site(5).Events(isis.EventFilter{Group: gid})
+	var traceMu sync.Mutex
+	var trace []isis.Event
+	traceDone := make(chan struct{})
+	go func() {
+		defer close(traceDone)
+		for e := range events {
+			traceMu.Lock()
+			trace = append(trace, e)
+			traceMu.Unlock()
+			fmt.Printf("  event: %v\n", e)
+		}
+	}()
 
 	fmt.Println("\n--- partitioning {1,2,3} | {4,5} ---")
 	for _, a := range []isis.SiteID{1, 2, 3} {
@@ -151,11 +172,11 @@ func main() {
 	})
 	fmt.Println("majority removed the stranded members and keeps committing: p1, p2")
 	for _, w := range []string{"p1", "p2"} {
-		if _, err := members[0].Cast(isis.ABCAST, []isis.Address{gid}, isis.EntryUserBase, isis.Text(w), 0); err != nil {
+		if _, err := members[0].Cast(isis.ABCAST, []isis.Address{gid}, isis.EntryUserBase, isis.Text(w)); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if _, err := members[4].Cast(isis.CBCAST, []isis.Address{gid}, isis.EntryUserBase, isis.Text("forbidden"), 0); errors.Is(err, isis.ErrNonPrimary) {
+	if _, err := members[4].Cast(isis.CBCAST, []isis.Address{gid}, isis.EntryUserBase, isis.Text("forbidden")); errors.Is(err, isis.ErrNonPrimary) {
 		fmt.Println("minority write correctly refused:", err)
 	} else {
 		log.Fatalf("minority write was not refused (err=%v)", err)
@@ -180,7 +201,7 @@ func main() {
 	fmt.Printf("site 5 ledger after merge: %v\n", ledgers[4].snapshot())
 
 	// The merged members carry writes again.
-	if _, err := members[4].Cast(isis.ABCAST, []isis.Address{gid}, isis.EntryUserBase, isis.Text("after-merge"), 0); err != nil {
+	if _, err := members[4].Cast(isis.ABCAST, []isis.Address{gid}, isis.EntryUserBase, isis.Text("after-merge")); err != nil {
 		log.Fatal(err)
 	}
 	waitFor("post-merge write everywhere", func() bool {
@@ -192,4 +213,44 @@ func main() {
 		return true
 	})
 	fmt.Printf("\nfinal ledgers (identical at all five members): %v\n", ledgers[0].snapshot())
+
+	// The event trace must exist and must tell the partition story in order:
+	// wedge and primary loss before the merge starts, the merge landing
+	// before primaryness resumes. An empty or shuffled trace means the
+	// observability layer lies about what the protocols did.
+	waitFor("primary-resumed event in the trace", func() bool {
+		return eventIndex(snapshotTrace(&traceMu, &trace), isis.EventPrimaryResumed) >= 0
+	})
+	cancelEvents()
+	<-traceDone
+	final := snapshotTrace(&traceMu, &trace)
+	wedge := eventIndex(final, isis.EventPartitionWedge)
+	lost := eventIndex(final, isis.EventPrimaryLost)
+	start := eventIndex(final, isis.EventMergeStart)
+	land := eventIndex(final, isis.EventMergeLand)
+	resumed := eventIndex(final, isis.EventPrimaryResumed)
+	if wedge < 0 || lost < 0 || start < 0 || land < 0 || resumed < 0 {
+		log.Fatalf("incomplete event trace (wedge=%d lost=%d start=%d land=%d resumed=%d)",
+			wedge, lost, start, land, resumed)
+	}
+	if !(wedge < start && lost < start && start < land && land < resumed) {
+		log.Fatalf("incoherent event trace order (wedge=%d lost=%d start=%d land=%d resumed=%d)",
+			wedge, lost, start, land, resumed)
+	}
+	fmt.Printf("event trace coherent: %d events, wedge→merge→resume in order\n", len(final))
+}
+
+func snapshotTrace(mu *sync.Mutex, trace *[]isis.Event) []isis.Event {
+	mu.Lock()
+	defer mu.Unlock()
+	return append([]isis.Event(nil), (*trace)...)
+}
+
+func eventIndex(evs []isis.Event, k isis.EventKind) int {
+	for i, e := range evs {
+		if e.Kind == k {
+			return i
+		}
+	}
+	return -1
 }

@@ -73,7 +73,7 @@ func main() {
 
 	// Asynchronous CBCAST: the sender continues immediately.
 	if _, err := members[0].proc.Cast(isis.CBCAST, []isis.Address{gid},
-		isis.EntryUserBase, isis.Text("causal broadcast"), 0); err != nil {
+		isis.EntryUserBase, isis.Text("causal broadcast")); err != nil {
 		log.Fatal(err)
 	}
 
@@ -85,14 +85,14 @@ func main() {
 		go func(i int) {
 			defer wg.Done()
 			_, _ = members[i].proc.Cast(isis.ABCAST, []isis.Address{gid},
-				isis.EntryUserBase, isis.Text(fmt.Sprintf("total order from member %d", i)), 0)
+				isis.EntryUserBase, isis.Text(fmt.Sprintf("total order from member %d", i)))
 		}(i)
 	}
 	wg.Wait()
 
 	// GBCAST: ordered relative to everything (used here as a marker).
 	if _, err := members[0].proc.Cast(isis.GBCAST, []isis.Address{gid},
-		isis.EntryUserBase, isis.Text("globally ordered marker"), 0); err != nil {
+		isis.EntryUserBase, isis.Text("globally ordered marker")); err != nil {
 		log.Fatal(err)
 	}
 
@@ -103,7 +103,7 @@ func main() {
 		log.Fatal(err)
 	}
 	replies, err := client.Cast(isis.CBCAST, []isis.Address{gid},
-		isis.EntryUserBase, isis.Text("who is out there?"), isis.All)
+		isis.EntryUserBase, isis.Text("who is out there?"), isis.Replies(isis.All))
 	if err != nil {
 		log.Fatal(err)
 	}

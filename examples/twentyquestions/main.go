@@ -209,7 +209,7 @@ func matchField(field, op, value string) bool {
 // ask sends one query and prints the collected answers.
 func ask(client *isis.Process, gid isis.Address, q string, want int) {
 	m := isis.NewMessage().PutString("q", q)
-	replies, err := client.Cast(isis.CBCAST, []isis.Address{gid}, entryQuery, m, want)
+	replies, err := client.Cast(isis.CBCAST, []isis.Address{gid}, entryQuery, m, isis.Replies(want))
 	if err != nil && len(replies) == 0 {
 		fmt.Printf("query %-18q -> error: %v\n", q, err)
 		return
@@ -276,7 +276,7 @@ func main() {
 	// Step 5: a dynamic update, virtually synchronous with the queries.
 	fmt.Println("== dynamic update via GBCAST ==")
 	upd := isis.NewMessage().PutString("row", "car silver sedan 52000 Lucid Air")
-	if _, err := client.Cast(isis.GBCAST, []isis.Address{gid}, entryUpdate, upd, 0); err != nil {
+	if _, err := client.Cast(isis.GBCAST, []isis.Address{gid}, entryUpdate, upd); err != nil {
 		log.Fatal(err)
 	}
 	ask(client, gid, "price > 40000", 1)

@@ -69,7 +69,7 @@ func (l *ledger) receiver() func([]byte, bool) {
 // processes, no RestartSite — with their state rebuilt from the primary.
 func TestPrimaryPartitionMajorityCommitsMinorityMerges(t *testing.T) {
 	c := newTestCluster(t, 5)
-	net := c.Network()
+	net, _ := c.Network()
 
 	members := make([]*Process, 5)
 	ledgers := make([]*ledger, 5)
@@ -106,7 +106,7 @@ func TestPrimaryPartitionMajorityCommitsMinorityMerges(t *testing.T) {
 
 	// Pre-partition traffic reaches everybody.
 	for _, w := range []string{"w1", "w2"} {
-		if _, err := members[0].Cast(ABCAST, []Address{gid}, EntryUserBase, Text(w), 0); err != nil {
+		if _, err := members[0].Cast(ABCAST, []Address{gid}, EntryUserBase, Text(w)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -135,7 +135,7 @@ func TestPrimaryPartitionMajorityCommitsMinorityMerges(t *testing.T) {
 	waitUntil(t, "minority wedged non-primary", 10*time.Second, func() bool {
 		return !members[3].GroupPrimary(gid) && !members[4].GroupPrimary(gid)
 	})
-	if _, err := members[3].Cast(CBCAST, []Address{gid}, EntryUserBase, Text("forbidden"), 0); !errors.Is(err, ErrNonPrimary) {
+	if _, err := members[3].Cast(CBCAST, []Address{gid}, EntryUserBase, Text("forbidden")); !errors.Is(err, ErrNonPrimary) {
 		t.Errorf("minority write err = %v, want ErrNonPrimary", err)
 	}
 	// A synchronous GBCAST from the other minority site routes to the
@@ -149,14 +149,14 @@ func TestPrimaryPartitionMajorityCommitsMinorityMerges(t *testing.T) {
 	waitUntil(t, "site 5 suspects the majority", 10*time.Second, func() bool {
 		return len(c.Site(5).Daemon().SuspectedSites()) >= 3
 	})
-	if _, err := members[4].Cast(GBCAST, []Address{gid}, EntryUserBase, Text("gb-forbidden"), 0); !errors.Is(err, ErrNonPrimary) {
+	if _, err := members[4].Cast(GBCAST, []Address{gid}, EntryUserBase, Text("gb-forbidden")); !errors.Is(err, ErrNonPrimary) {
 		t.Errorf("minority GBCAST err = %v, want ErrNonPrimary", err)
 	}
 	if v, ok := members[4].CurrentView(gid); !ok || v.Size() != 5 {
 		t.Errorf("minority installed a split-brain view: %v", v)
 	}
 	for _, w := range []string{"p1", "p2", "p3"} {
-		if _, err := members[0].Cast(ABCAST, []Address{gid}, EntryUserBase, Text(w), 0); err != nil {
+		if _, err := members[0].Cast(ABCAST, []Address{gid}, EntryUserBase, Text(w)); err != nil {
 			t.Fatalf("majority write during partition: %v", err)
 		}
 	}
@@ -192,7 +192,7 @@ func TestPrimaryPartitionMajorityCommitsMinorityMerges(t *testing.T) {
 	}
 
 	// The merged members carry writes again, everywhere.
-	if _, err := members[4].Cast(ABCAST, []Address{gid}, EntryUserBase, Text("after"), 0); err != nil {
+	if _, err := members[4].Cast(ABCAST, []Address{gid}, EntryUserBase, Text("after")); err != nil {
 		t.Fatalf("write from a merged member: %v", err)
 	}
 	final := append(append([]string(nil), majority...), "after")
@@ -285,7 +285,7 @@ func TestStateTransferProviderFailover(t *testing.T) {
 	mu.Unlock()
 
 	// The joiner's held deliveries drain and new traffic flows.
-	if _, err := second.Cast(CBCAST, []Address{v.Group}, EntryUserBase, Text("unblocked"), 0); err != nil {
+	if _, err := second.Cast(CBCAST, []Address{v.Group}, EntryUserBase, Text("unblocked")); err != nil {
 		t.Fatal(err)
 	}
 	waitUntil(t, "post-failover delivery at the joiner", 5*time.Second, func() bool {
@@ -383,7 +383,7 @@ func TestRestartAfterCrashRejoinsWithStateTransfer(t *testing.T) {
 
 	// Traffic flows to the restarted site: the transport recognised the new
 	// incarnation's stream epoch instead of discarding it as duplicates.
-	if _, err := first.Cast(CBCAST, []Address{v.Group}, EntryUserBase, Text("post-restart"), 0); err != nil {
+	if _, err := first.Cast(CBCAST, []Address{v.Group}, EntryUserBase, Text("post-restart")); err != nil {
 		t.Fatal(err)
 	}
 	waitUntil(t, "delivery at the restarted site", 5*time.Second, func() bool {
@@ -406,7 +406,7 @@ func TestRestartAfterCrashRejoinsWithStateTransfer(t *testing.T) {
 func TestPartitionedSiteRestartsAndRejoins(t *testing.T) {
 	c := newTestCluster(t, 3)
 	members, gid := echoService(t, c, "part", 1, 2, 3)
-	net := c.Network()
+	net, _ := c.Network()
 
 	net.Partition(3, 1)
 	net.Partition(3, 2)
@@ -439,7 +439,7 @@ func TestPartitionedSiteRestartsAndRejoins(t *testing.T) {
 		return ok && view.Size() == 3 && view.Contains(p.Address())
 	})
 
-	if _, err := members[0].Cast(CBCAST, []Address{gid}, EntryUserBase, Text("rejoined"), 0); err != nil {
+	if _, err := members[0].Cast(CBCAST, []Address{gid}, EntryUserBase, Text("rejoined")); err != nil {
 		t.Fatal(err)
 	}
 	waitUntil(t, "broadcast at the rejoined site", 5*time.Second, func() bool {

@@ -138,7 +138,7 @@ func RunTable1() ([]Table1Row, error) {
 	add("group RPC", "bc_mcast(dests,msg,1 reply)", "multicast + collect replies", c)
 
 	c, _ = env.measure(func() error {
-		_, err := env.members[0].Cast(isis.CBCAST, []isis.Address{env.client.Address()}, entryEcho, isis.Text("r"), 0)
+		_, err := env.members[0].Cast(isis.CBCAST, []isis.Address{env.client.Address()}, entryEcho, isis.Text("r"))
 		return err
 	})
 	add("group RPC", "reply(msg,answ)", "1 async CBCAST", c)
@@ -352,7 +352,7 @@ func RunFigure2Latency(nc NetChoice, primitive isis.Protocol, dests int, sizes [
 		var total time.Duration
 		for i := 0; i < iters; i++ {
 			start := time.Now()
-			if _, err := env.sender.Cast(primitive, []isis.Address{env.gid}, entryEcho, payload, 1); err != nil {
+			if _, err := env.sender.Cast(primitive, []isis.Address{env.gid}, entryEcho, payload, isis.Replies(1)); err != nil {
 				return nil, fmt.Errorf("%v size %d: %w", primitive, size, err)
 			}
 			total += time.Since(start)
@@ -389,7 +389,7 @@ func RunFigure2ThroughputAblation(nc NetChoice, dests int, sizes []int, perSize 
 		start := time.Now()
 		var bytesSent int64
 		for time.Since(start) < perSize {
-			if _, err := env.sender.Cast(isis.CBCAST, []isis.Address{env.gid}, entryEcho, payload, 0); err != nil {
+			if _, err := env.sender.Cast(isis.CBCAST, []isis.Address{env.gid}, entryEcho, payload); err != nil {
 				return nil, err
 			}
 			bytesSent += int64(size)
@@ -445,7 +445,11 @@ func RunFigure3(netCfg simnet.Config, iters int) (Fig3Breakdown, error) {
 	defer env.cluster.Close()
 
 	rec := simnet.NewRecorder()
-	env.cluster.Network().SetTracer(rec)
+	sim, ok := env.cluster.Network()
+	if !ok {
+		return Fig3Breakdown{}, fmt.Errorf("bench: figure-3 run requires the simnet backend")
+	}
+	sim.SetTracer(rec)
 
 	var total time.Duration
 	payload := isis.NewMessage().PutBytes("data", make([]byte, 100))
@@ -453,7 +457,7 @@ func RunFigure3(netCfg simnet.Config, iters int) (Fig3Breakdown, error) {
 		start := time.Now()
 		// Wait for the remote member's reply so the measured interval covers
 		// delivery at the remote destination.
-		if _, err := env.sender.Cast(isis.ABCAST, []isis.Address{env.gid}, entryEcho, payload, isis.All); err != nil {
+		if _, err := env.sender.Cast(isis.ABCAST, []isis.Address{env.gid}, entryEcho, payload, isis.Replies(isis.All)); err != nil {
 			return Fig3Breakdown{}, err
 		}
 		total += time.Since(start)
@@ -566,7 +570,7 @@ func RunTwentyQuestions(netCfg simnet.Config, window time.Duration) (TwentyResul
 	start := time.Now()
 	for time.Since(start) < window {
 		q := isis.NewMessage().PutInt("col", int64(queries%6))
-		if _, err := client.Cast(isis.CBCAST, []isis.Address{gid}, entryEcho, q, 1); err != nil {
+		if _, err := client.Cast(isis.CBCAST, []isis.Address{gid}, entryEcho, q, isis.Replies(1)); err != nil {
 			return TwentyResult{}, err
 		}
 		queries++
@@ -578,7 +582,7 @@ func RunTwentyQuestions(netCfg simnet.Config, window time.Duration) (TwentyResul
 	start = time.Now()
 	for time.Since(start) < window {
 		u := isis.NewMessage().PutString("kind", "update").PutString("row", "car gray suv 30000 Generic X")
-		if _, err := client.Cast(isis.GBCAST, []isis.Address{gid}, entryEcho, u, 0); err != nil {
+		if _, err := client.Cast(isis.GBCAST, []isis.Address{gid}, entryEcho, u); err != nil {
 			return TwentyResult{}, err
 		}
 		updates++
@@ -607,17 +611,20 @@ func RunSenderUtilization(netCfg simnet.Config, window time.Duration) ([]CPUResu
 			return CPUResult{}, err
 		}
 		defer env.cluster.Close()
-		net := env.cluster.Network()
+		net, ok := env.cluster.Network()
+		if !ok {
+			return CPUResult{}, fmt.Errorf("bench: cpu run requires the simnet backend")
+		}
 		net.ResetStats()
 		payload := isis.NewMessage().PutBytes("data", make([]byte, 1000))
 		start := time.Now()
 		for time.Since(start) < window {
 			if async {
-				if _, err := env.sender.Cast(isis.CBCAST, []isis.Address{env.gid}, entryEcho, payload, 0); err != nil {
+				if _, err := env.sender.Cast(isis.CBCAST, []isis.Address{env.gid}, entryEcho, payload); err != nil {
 					return CPUResult{}, err
 				}
 			} else {
-				if _, err := env.sender.Cast(isis.ABCAST, []isis.Address{env.gid}, entryEcho, payload, isis.All); err != nil {
+				if _, err := env.sender.Cast(isis.ABCAST, []isis.Address{env.gid}, entryEcho, payload, isis.Replies(isis.All)); err != nil {
 					return CPUResult{}, err
 				}
 			}

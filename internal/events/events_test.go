@@ -1,0 +1,123 @@
+package events
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+)
+
+func group(n uint32) addr.Address { return addr.NewGroup(1, 0, n) }
+
+func TestPublishStampsAndDelivers(t *testing.T) {
+	b := NewBus(7)
+	defer b.Close()
+	ch, cancel := b.Subscribe(Filter{}, 4)
+	defer cancel()
+
+	b.Publish(Event{Kind: ViewInstalled, Group: group(1), View: 3})
+	b.Publish(Event{Kind: SiteDown, Peer: 2})
+
+	e := <-ch
+	if e.Seq != 1 || e.Site != 7 || e.Kind != ViewInstalled || e.View != 3 || e.Time.IsZero() {
+		t.Fatalf("first event badly stamped: %+v", e)
+	}
+	e = <-ch
+	if e.Seq != 2 || e.Kind != SiteDown || e.Peer != 2 {
+		t.Fatalf("second event badly stamped: %+v", e)
+	}
+}
+
+func TestFilterByKindAndGroup(t *testing.T) {
+	b := NewBus(1)
+	defer b.Close()
+	ch, cancel := b.Subscribe(Filter{Kinds: []Kind{MergeStart, MergeLand}, Group: group(5)}, 8)
+	defer cancel()
+
+	b.Publish(Event{Kind: MergeStart, Group: group(9)}) // wrong group
+	b.Publish(Event{Kind: FlushBegin, Group: group(5)}) // wrong kind
+	b.Publish(Event{Kind: SiteDown})                    // no group at all
+	b.Publish(Event{Kind: MergeStart, Group: group(5)})
+	b.Publish(Event{Kind: MergeLand, Group: group(5)})
+
+	if e := <-ch; e.Kind != MergeStart {
+		t.Fatalf("got %v, want merge-start", e.Kind)
+	}
+	if e := <-ch; e.Kind != MergeLand {
+		t.Fatalf("got %v, want merge-land", e.Kind)
+	}
+	select {
+	case e := <-ch:
+		t.Fatalf("unexpected extra event %v", e)
+	default:
+	}
+}
+
+func TestSlowSubscriberDropsWithoutBlocking(t *testing.T) {
+	b := NewBus(1)
+	defer b.Close()
+	ch, cancel := b.Subscribe(Filter{}, 2)
+	defer cancel()
+
+	for i := 0; i < 5; i++ {
+		b.Publish(Event{Kind: SiteUp, Peer: addr.SiteID(i + 1)})
+	}
+	st := b.Stats()
+	if st.Published != 5 {
+		t.Errorf("Published = %d, want 5", st.Published)
+	}
+	if st.Dropped != 3 || b.Dropped() != 3 {
+		t.Errorf("Dropped = %d (%d), want 3", st.Dropped, b.Dropped())
+	}
+	if st.ByKind[SiteUp] != 5 {
+		t.Errorf("ByKind[SiteUp] = %d, want 5", st.ByKind[SiteUp])
+	}
+	// The gap-free prefix survives: the first two events, in order.
+	if e := <-ch; e.Seq != 1 {
+		t.Errorf("first queued seq = %d, want 1", e.Seq)
+	}
+	if e := <-ch; e.Seq != 2 {
+		t.Errorf("second queued seq = %d, want 2", e.Seq)
+	}
+}
+
+func TestCancelClosesChannelAndIsIdempotent(t *testing.T) {
+	b := NewBus(1)
+	defer b.Close()
+	ch, cancel := b.Subscribe(Filter{}, 1)
+	cancel()
+	cancel() // must not panic
+	if _, ok := <-ch; ok {
+		t.Fatal("channel still open after cancel")
+	}
+	b.Publish(Event{Kind: SiteDown}) // must not panic or deliver
+}
+
+func TestCloseClosesSubscribersAndSilencesPublish(t *testing.T) {
+	b := NewBus(1)
+	ch, cancel := b.Subscribe(Filter{}, 1)
+	b.Close()
+	b.Close() // idempotent
+	if _, ok := <-ch; ok {
+		t.Fatal("channel still open after bus close")
+	}
+	b.Publish(Event{Kind: SiteDown})
+	if b.Stats().Published != 0 {
+		t.Error("publish after close was counted")
+	}
+	cancel() // canceling after close must not panic
+
+	// Subscribing to a closed bus yields an already-closed channel.
+	ch2, cancel2 := b.Subscribe(Filter{}, 1)
+	if _, ok := <-ch2; ok {
+		t.Fatal("subscription on a closed bus is open")
+	}
+	cancel2()
+}
+
+func TestKindStringsAreNamed(t *testing.T) {
+	for k := KindNone + 1; k < numKinds; k++ {
+		if s := k.String(); s == "" || s[0] == 'k' {
+			t.Errorf("kind %d has no name (%q)", k, s)
+		}
+	}
+}

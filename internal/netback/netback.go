@@ -87,3 +87,19 @@ type LinkWatcher interface {
 	// returns a function that unregisters it.
 	WatchLinks(cb func(LinkEvent)) (cancel func())
 }
+
+// FaultInjector is the optional capability of a Network to sever and restore
+// individual site-to-site links, for partition testing. Both in-tree
+// backends implement it (the simulated LAN natively; the TCP fabric by
+// discarding frames on blocked pairs), so tests written against
+// Fabric().(FaultInjector) run unchanged on either. A blocked pair drops
+// traffic in both directions; the reliable transport's retransmissions
+// recover whatever was in flight once the pair heals.
+type FaultInjector interface {
+	// Partition severs the undirected link between two sites.
+	Partition(a, b SiteID)
+	// Heal restores the undirected link between two sites.
+	Heal(a, b SiteID)
+	// HealAll restores every severed link.
+	HealAll()
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/fdetect"
 	"repro/internal/msg"
 	"repro/internal/netback"
@@ -80,15 +81,10 @@ type Config struct {
 }
 
 // Counters tallies protocol activity; the Table 1 harness reads them before
-// and after each toolkit call to report the multicast cost of the call.
-type Counters struct {
-	CBCASTs       uint64 // CBCAST multicasts initiated at this site
-	ABCASTs       uint64 // ABCAST multicasts initiated at this site
-	GBCASTs       uint64 // GBCAST protocol executions coordinated by this site
-	PointToPoints uint64 // point-to-point sends (replies and direct messages)
-	Delivered     uint64 // application messages delivered to local processes
-	ViewChanges   uint64 // view changes installed at this site
-}
+// and after each toolkit call to report the multicast cost of the call. It is
+// defined in the events package so the observability layer and the protocol
+// layer share one vocabulary.
+type Counters = events.Counters
 
 // Errors returned by daemon operations.
 var (
@@ -222,6 +218,21 @@ type groupState struct {
 	// submissions per group (coordinatorCall), which makes a requester's
 	// commit order match its id order.
 	gbSeen map[int64]int64
+
+	// gbSeenBase records, per requester, the first counter this site ever
+	// tracked — the lower edge of its first-hand history. An outcome query
+	// about an id below the base is answered unknown: a site that joined
+	// (or merged back) late has no evidence either way about older ids.
+	gbSeenBase map[int64]int64
+
+	// gbSkipped marks individual request ids that advanced the gbSeen mark
+	// without committing: ids sealed as aborted by a gbSeal round, and the
+	// gap ids an in-order commit jumped over (requests the requester
+	// abandoned). The dedupe check treats a skipped id at or below the mark
+	// as already handled, so it can never execute later — which is what
+	// makes an Aborted answer definitive. Bounded FIFO.
+	gbSkipped      map[int64]bool
+	gbSkippedOrder []int64
 }
 
 const recentLimit = 256
@@ -282,10 +293,21 @@ type Daemon struct {
 	abDone      map[core.MsgID]uint64 // final priorities of applied ABCAST commits
 	abDoneOrder []core.MsgID          // insertion order of abDone, for bounding
 	pendingJoin map[joinKey]pendingJoin
-	siteWatch   []func(fdetect.Event)
-	primWatch   []func(addr.Address, bool) // primary-status transitions per group
-	merging     map[addr.Address]bool      // groups with a merge in progress
+	merging     map[addr.Address]bool // groups with a merge in progress
 	reqSerial   map[addr.Address]*sync.Mutex
+
+	// bus carries the operational event stream for this site; emitters
+	// publish from protocol paths (often with d.mu held — the bus has its
+	// own lock and never calls back into the daemon).
+	bus *events.Bus
+
+	// reqLog is the requester-side record of GBCAST request ids this daemon
+	// minted: which group each went to and whether the call committed, is
+	// still pending, or was given up on (timed out / errored with the
+	// outcome unresolved). RequestOutcome consults it and, for given-up
+	// ids, settles the outcome with a gbSeal round. Bounded FIFO.
+	reqLog      map[int64]reqRecord
+	reqLogOrder []int64
 
 	// Relayed-CBCAST FIFO repair (see relayrepair.go). lostRelays tracks
 	// relay calls whose outcome is unknown — the call timed out or was
@@ -375,6 +397,8 @@ func New(cfg Config) (*Daemon, error) {
 		lostRelays:   make(map[int64]lostRelay),
 		relayHoles:   make(map[relayHoleKey]lostRelay),
 		parkedMerges: make(map[parkKey]parkedRejoin),
+		bus:          events.NewBus(cfg.Site),
+		reqLog:       make(map[int64]reqRecord),
 		stopScan:     make(chan struct{}),
 	}
 	ep, err := cfg.Network.Attach(cfg.Site, trCfg.Epoch)
@@ -399,9 +423,6 @@ func New(cfg Config) (*Daemon, error) {
 	// the capability; on a real wire recovery is heartbeat-driven.
 	if lw, ok := cfg.Network.(netback.LinkWatcher); ok {
 		d.unwatchLinks = lw.WatchLinks(func(ev netback.LinkEvent) {
-			if !ev.Up {
-				return
-			}
 			var peer addr.SiteID
 			switch d.site {
 			case ev.A:
@@ -409,6 +430,14 @@ func New(cfg Config) (*Daemon, error) {
 			case ev.B:
 				peer = ev.A
 			default:
+				return
+			}
+			kind := events.LinkDown
+			if ev.Up {
+				kind = events.LinkUp
+			}
+			d.bus.Publish(events.Event{Kind: kind, Peer: peer})
+			if !ev.Up {
 				return
 			}
 			d.mu.Lock()
@@ -451,6 +480,7 @@ func (d *Daemon) Close() {
 	d.mu.Unlock()
 
 	close(d.stopScan)
+	d.bus.Close()
 	if d.unwatchLinks != nil {
 		d.unwatchLinks()
 	}
@@ -556,12 +586,47 @@ func (d *Daemon) ProcessAlive(p addr.Address) bool {
 	return ok && lp.alive
 }
 
-// WatchSites registers a callback invoked on every failure-detector event
-// (site failure or recovery). Used by the recovery manager and news tools.
-func (d *Daemon) WatchSites(cb func(fdetect.Event)) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.siteWatch = append(d.siteWatch, cb)
+// WatchSites invokes the callback on every failure-detector event (site
+// failure or recovery). It is a compatibility wrapper over the event stream:
+// events are delivered asynchronously from a forwarding goroutine, and the
+// returned cancel stops the subscription.
+//
+// Deprecated: subscribe to the event stream (Events) with kinds SiteDown and
+// SiteUp instead.
+func (d *Daemon) WatchSites(cb func(fdetect.Event)) (cancel func()) {
+	ch, cancel := d.bus.Subscribe(events.Filter{
+		Kinds: []events.Kind{events.SiteDown, events.SiteUp},
+	}, 0)
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		for e := range ch {
+			kind := fdetect.SiteFailed
+			if e.Kind == events.SiteUp {
+				kind = fdetect.SiteRecovered
+			}
+			cb(fdetect.Event{Site: e.Peer, Kind: kind, When: e.Time})
+		}
+	}()
+	return cancel
+}
+
+// Events subscribes to this site's operational event stream. The filter
+// restricts the stream (the zero Filter matches everything); buf sizes the
+// subscriber's bounded queue (<=0 selects events.DefaultQueue). The returned
+// cancel unsubscribes and closes the channel; the channel also closes when
+// the daemon shuts down.
+func (d *Daemon) Events(f events.Filter, buf int) (<-chan events.Event, func()) {
+	return d.bus.Subscribe(f, buf)
+}
+
+// EventStats reports the bus's publish and drop counters.
+func (d *Daemon) EventStats() events.Stats { return d.bus.Stats() }
+
+// AnnounceRestart publishes a SiteRestart event; the cluster harness calls it
+// when a site comes back with a new incarnation.
+func (d *Daemon) AnnounceRestart() {
+	d.bus.Publish(events.Event{Kind: events.SiteRestart, Detail: fmt.Sprintf("incarnation %d", d.cfg.Incarnation)})
 }
 
 // ---------------------------------------------------------------------------
@@ -828,12 +893,13 @@ func (d *Daemon) onDetectorEvent(ev fdetect.Event) {
 	case fdetect.SiteRecovered:
 		delete(d.suspected, ev.Site)
 	}
-	watchers := make([]func(fdetect.Event), len(d.siteWatch))
-	copy(watchers, d.siteWatch)
 	d.mu.Unlock()
 
-	for _, w := range watchers {
-		w(ev)
+	switch ev.Kind {
+	case fdetect.SiteFailed:
+		d.bus.Publish(events.Event{Kind: events.SiteDown, Peer: ev.Site})
+	case fdetect.SiteRecovered:
+		d.bus.Publish(events.Event{Kind: events.SiteUp, Peer: ev.Site})
 	}
 	switch ev.Kind {
 	case fdetect.SiteFailed:

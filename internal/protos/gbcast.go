@@ -1,11 +1,13 @@
 package protos
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/addr"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/msg"
 )
 
@@ -14,35 +16,37 @@ import (
 // group coordinator serializes these per group and runs the two-phase
 // flush/commit protocol for each.
 type gbWork struct {
-	kind      int64
-	gid       addr.Address
-	procs     []addr.Address
-	wantState bool
-	payload   *msg.Message
-	entry     addr.EntryID
-	sender    addr.Address
-	reqID     int64       // stable request id; survives coordinator fail-over
-	force     bool        // run the full wedge/flush even if the change is a no-op
-	replyTo   addr.SiteID // requester site (0 when local)
-	replyCall int64
-	done      chan *msg.Message // local requester waits here (nil otherwise)
+	kind       int64
+	gid        addr.Address
+	procs      []addr.Address
+	wantState  bool
+	payload    *msg.Message
+	entry      addr.EntryID
+	sender     addr.Address
+	reqID      int64       // stable request id; survives coordinator fail-over
+	sealTarget int64       // gbSeal: the request id whose outcome is being settled
+	force      bool        // run the full wedge/flush even if the change is a no-op
+	replyTo    addr.SiteID // requester site (0 when local)
+	replyCall  int64
+	done       chan *msg.Message // local requester waits here (nil otherwise)
 }
 
 // handleGbRequest processes a request addressed to this site in its role as
 // the group's (acting) coordinator.
 func (d *Daemon) handleGbRequest(from addr.SiteID, p *msg.Message) {
 	w := &gbWork{
-		kind:      p.GetInt(fKind, 0),
-		gid:       p.GetAddress(fGroup),
-		procs:     p.GetAddressList(fProcs),
-		wantState: p.GetInt(fWantState, 0) == 1,
-		payload:   p.GetMessage(fPayload),
-		entry:     addr.EntryID(p.GetInt(fEntry, 0)),
-		sender:    p.GetAddress(fSender),
-		reqID:     p.GetInt(fReqID, 0),
-		force:     p.GetInt(fForce, 0) == 1,
-		replyTo:   from,
-		replyCall: p.GetInt(fCall, 0),
+		kind:       p.GetInt(fKind, 0),
+		gid:        p.GetAddress(fGroup),
+		procs:      p.GetAddressList(fProcs),
+		wantState:  p.GetInt(fWantState, 0) == 1,
+		payload:    p.GetMessage(fPayload),
+		entry:      addr.EntryID(p.GetInt(fEntry, 0)),
+		sender:     p.GetAddress(fSender),
+		reqID:      p.GetInt(fReqID, 0),
+		sealTarget: p.GetInt(fSealReq, 0),
+		force:      p.GetInt(fForce, 0) == 1,
+		replyTo:    from,
+		replyCall:  p.GetInt(fCall, 0),
 	}
 	if err := d.enqueueGb(w); err != nil {
 		d.replyError(from, w.replyCall, err.Error())
@@ -53,16 +57,17 @@ func (d *Daemon) handleGbRequest(from addr.SiteID, p *msg.Message) {
 // waits for its completion.
 func (d *Daemon) localGbRequest(gid addr.Address, req *msg.Message) (*msg.Message, error) {
 	w := &gbWork{
-		kind:      req.GetInt(fKind, 0),
-		gid:       gid.Base(),
-		procs:     req.GetAddressList(fProcs),
-		wantState: req.GetInt(fWantState, 0) == 1,
-		payload:   req.GetMessage(fPayload),
-		entry:     addr.EntryID(req.GetInt(fEntry, 0)),
-		sender:    req.GetAddress(fSender),
-		reqID:     req.GetInt(fReqID, 0),
-		force:     req.GetInt(fForce, 0) == 1,
-		done:      make(chan *msg.Message, 1),
+		kind:       req.GetInt(fKind, 0),
+		gid:        gid.Base(),
+		procs:      req.GetAddressList(fProcs),
+		wantState:  req.GetInt(fWantState, 0) == 1,
+		payload:    req.GetMessage(fPayload),
+		entry:      addr.EntryID(req.GetInt(fEntry, 0)),
+		sender:     req.GetAddress(fSender),
+		reqID:      req.GetInt(fReqID, 0),
+		sealTarget: req.GetInt(fSealReq, 0),
+		force:      req.GetInt(fForce, 0) == 1,
+		done:       make(chan *msg.Message, 1),
 	}
 	if err := d.enqueueGb(w); err != nil {
 		return nil, err
@@ -201,6 +206,14 @@ func (d *Daemon) executeGb(w *gbWork) {
 		// processes it hosts.
 		prepare.PutAddressList(fProcs, w.procs)
 	}
+	if w.kind == gbSeal && w.sealTarget != 0 {
+		// Outcome settlement: each member site reports its first-hand
+		// knowledge of the target request id in its ack. One positive
+		// report suffices — a commit that reached any survivor counts as
+		// committed, even when this (successor) coordinator missed it.
+		prepare.PutInt(fSealReq, w.sealTarget)
+	}
+	sealCommitted := false
 
 	reports := make(map[addr.SiteID]pendingReport)
 	views := make(map[addr.SiteID]core.View)
@@ -213,6 +226,13 @@ func (d *Daemon) executeGb(w *gbWork) {
 			repMu.Lock()
 			reports[d.site] = rep
 			repMu.Unlock()
+			if w.kind == gbSeal && w.sealTarget != 0 {
+				d.mu.Lock()
+				if own, ok := d.groups[w.gid]; ok && gbOutcomeVoteLocked(own, w.sealTarget) == voteCommitted {
+					sealCommitted = true
+				}
+				d.mu.Unlock()
+			}
 			continue
 		}
 		d.mu.Lock()
@@ -258,6 +278,9 @@ func (d *Daemon) executeGb(w *gbWork) {
 				views[site] = v
 			}
 			deadAck[site] = resp.GetAddressList(fDead)
+			if resp.GetInt(fOutcome, 0) == voteCommitted {
+				sealCommitted = true
+			}
 			repMu.Unlock()
 		}(site)
 	}
@@ -349,7 +372,7 @@ func (d *Daemon) executeGb(w *gbWork) {
 		// commit re-announces that view without minting a new id (members
 		// already there treat it as stale and only unwedge; members behind
 		// catch up to it).
-	case gbUser, gbConfigHint:
+	case gbUser, gbConfigHint, gbSeal:
 		newView = base // unchanged; the GBCAST only carries a payload
 	}
 
@@ -370,6 +393,14 @@ func (d *Daemon) executeGb(w *gbWork) {
 	commit.PutMessage(fRebcast, encodePendingReport(rec))
 	if w.reqID != 0 {
 		commit.PutInt(fReqID, w.reqID)
+	}
+	if w.kind == gbSeal && w.sealTarget != 0 {
+		commit.PutInt(fSealReq, w.sealTarget)
+		if sealCommitted {
+			commit.PutInt(fOutcome, voteCommitted)
+		} else {
+			commit.PutInt(fOutcome, voteAborted)
+		}
 	}
 	if w.wantState {
 		commit.PutInt(fWantState, 1)
@@ -401,8 +432,19 @@ func (d *Daemon) executeGb(w *gbWork) {
 	}
 	d.applyGbCommit(d.site, commit)
 
+	if newView.ID > oldView.ID {
+		d.bus.Publish(events.Event{Kind: events.ViewCommitted, Group: w.gid, View: newView.ID})
+	}
+
 	resp := msg.New()
 	resp.PutMessage(fView, encodeView(newView))
+	if w.kind == gbSeal && w.sealTarget != 0 {
+		if sealCommitted {
+			resp.PutInt(fOutcome, voteCommitted)
+		} else {
+			resp.PutInt(fOutcome, voteAborted)
+		}
+	}
 	d.gbReply(w, resp, "")
 }
 
@@ -577,6 +619,7 @@ func (d *Daemon) prepareLocal(gid addr.Address) (pendingReport, core.View) {
 	gs.wedged = true
 	gs.wedgeSeq++
 	seq := gs.wedgeSeq
+	d.bus.Publish(events.Event{Kind: events.FlushBegin, Group: gid, View: gs.view.ID})
 	// 4x the call timeout comfortably exceeds the longest legitimate flush
 	// (concurrent prepares retry up to 3 calls before the commit follows).
 	time.AfterFunc(4*d.cfg.CallTimeout, func() { d.unwedgeStale(gid, seq) })
@@ -690,6 +733,17 @@ func (d *Daemon) handleGbPrepare(from addr.SiteID, p *msg.Message) {
 	if view.ID > 0 {
 		resp.PutMessage(fView, encodeView(view))
 	}
+	// An outcome-settling flush: report this site's first-hand knowledge of
+	// the target request id.
+	if target := p.GetInt(fSealReq, 0); target != 0 {
+		d.mu.Lock()
+		if gs, ok := d.groups[gid.Base()]; ok {
+			if v := gbOutcomeVoteLocked(gs, target); v != voteUnknown {
+				resp.PutInt(fOutcome, v)
+			}
+		}
+		d.mu.Unlock()
+	}
 	// Corroborate (or dispute) the claimed deaths of removal targets hosted
 	// at this site: the coordinator drops targets whose hosting site vouches
 	// for them.
@@ -729,6 +783,8 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 	procs := p.GetAddressList(fProcs)
 	wantState := p.GetInt(fWantState, 0) == 1
 	reqID := p.GetInt(fReqID, 0)
+	sealReq := p.GetInt(fSealReq, 0)
+	sealOutcome := p.GetInt(fOutcome, 0)
 
 	d.mu.Lock()
 	gs, hosted := d.groups[gid.Base()]
@@ -741,6 +797,7 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 			gs.wedged = false
 			held := gs.heldPkts
 			gs.heldPkts = nil
+			d.bus.Publish(events.Event{Kind: events.PartitionWedge, Group: gid.Base(), View: gs.view.ID})
 			d.mu.Unlock()
 			for _, h := range held {
 				d.dispatchHeld(h)
@@ -863,6 +920,7 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 	// deliver it before — the very divergence this protocol closes).
 	var fenced []*abSendState
 	for _, id := range rec.Fenced {
+		d.bus.Publish(events.Event{Kind: events.AbcastFenced, Group: gid.Base(), Msg: id})
 		for _, ms := range gs.members {
 			d.deliverTotalLocked(gs, ms, ms.total.Discard(id))
 		}
@@ -907,6 +965,20 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 		}
 	case gbJoin, gbLeave, gbFail, 0:
 		wrong = d.applyViewChangeLocked(gs, newView, kind, procs, wantState)
+	case gbSeal:
+		// Outcome settlement for an earlier request id. An abort marks the
+		// target skipped before the mark advances past it; either way the
+		// mark advance makes the answer final — the dedupe check will treat
+		// any straggling copy of the target as already handled, so it can
+		// never commit after being reported aborted.
+		if sealReq != 0 {
+			if sealOutcome == voteCommitted {
+				delete(gs.gbSkipped, sealReq)
+			} else {
+				markSkippedLocked(gs, sealReq)
+			}
+			recordGbDoneLocked(gs, sealReq)
+		}
 	}
 
 	// Restart fenced ABCASTs this site initiated: a fresh protocol round
@@ -935,6 +1007,9 @@ func (d *Daemon) applyGbCommit(from addr.SiteID, p *msg.Message) {
 	}
 
 	// Step 3: unwedge and reprocess any data packets held during the flush.
+	if gs.wedged {
+		d.bus.Publish(events.Event{Kind: events.FlushComplete, Group: gid.Base(), View: gs.view.ID})
+	}
 	gs.wedged = false
 	held := gs.heldPkts
 	gs.heldPkts = nil
@@ -1003,16 +1078,89 @@ func gbCommittedLocked(gs *groupState, reqID int64) bool {
 	return counter <= gs.gbSeen[requester]
 }
 
+// Per-site first-hand knowledge of a request id's outcome, carried in gbSeal
+// acks (fOutcome) and commits.
+const (
+	voteUnknown   = int64(0) // no first-hand knowledge
+	voteCommitted = int64(1) // this site applied the request's commit
+	voteAborted   = int64(2) // the id was sealed aborted / jumped by the mark
+)
+
+// gbSkipLimit bounds the per-group memory of individually skipped request
+// ids; gbSkipGapCap bounds how large a jump of the high-water mark still
+// records each jumped id (a larger jump would mean the requester abandoned
+// over a thousand consecutive requests — the remaining ambiguity is accepted
+// rather than recorded unboundedly).
+const (
+	gbSkipLimit  = 4096
+	gbSkipGapCap = 1024
+)
+
+// markSkippedLocked records one request id that advanced past the high-water
+// mark without committing at this site. Caller holds d.mu.
+func markSkippedLocked(gs *groupState, reqID int64) {
+	if gs.gbSkipped == nil {
+		gs.gbSkipped = make(map[int64]bool)
+	}
+	if gs.gbSkipped[reqID] {
+		return
+	}
+	gs.gbSkipped[reqID] = true
+	gs.gbSkippedOrder = append(gs.gbSkippedOrder, reqID)
+	for len(gs.gbSkippedOrder) > gbSkipLimit {
+		delete(gs.gbSkipped, gs.gbSkippedOrder[0])
+		gs.gbSkippedOrder = gs.gbSkippedOrder[1:]
+	}
+}
+
+// gbOutcomeVoteLocked reports this site's first-hand knowledge of a request
+// id's outcome. Committed requires positive evidence: the counter must lie
+// inside the window this site has actually tracked for the requester
+// (gbSeenBase..gbSeen) and not be marked skipped — a site that joined the
+// group after the id was minted has no history below its base and must
+// answer unknown, not committed. Caller holds d.mu.
+func gbOutcomeVoteLocked(gs *groupState, reqID int64) int64 {
+	if gs.gbSkipped[reqID] {
+		return voteAborted
+	}
+	requester, counter := reqIDParts(reqID)
+	base, tracked := gs.gbSeenBase[requester]
+	if !tracked || counter < base {
+		return voteUnknown
+	}
+	if counter <= gs.gbSeen[requester] {
+		return voteCommitted
+	}
+	return voteUnknown
+}
+
 // recordGbDoneLocked advances the requester's high-water mark past a
-// committed GBCAST request id. Caller holds d.mu.
+// committed GBCAST request id. Because a requester's commits happen in id
+// order (coordinatorCall serializes per group), any id the mark jumps over
+// was abandoned by the requester before this one was minted; each jumped id
+// is recorded as skipped so an outcome query never mistakes it for
+// committed. Caller holds d.mu.
 func recordGbDoneLocked(gs *groupState, reqID int64) {
 	requester, counter := reqIDParts(reqID)
 	if gs.gbSeen == nil {
 		gs.gbSeen = make(map[int64]int64)
 	}
-	if counter > gs.gbSeen[requester] {
-		gs.gbSeen[requester] = counter
+	if gs.gbSeenBase == nil {
+		gs.gbSeenBase = make(map[int64]int64)
 	}
+	if _, tracked := gs.gbSeenBase[requester]; !tracked {
+		gs.gbSeenBase[requester] = counter
+	}
+	prev := gs.gbSeen[requester]
+	if counter <= prev {
+		return
+	}
+	if prev > 0 && counter-prev-1 <= gbSkipGapCap {
+		for c := prev + 1; c < counter; c++ {
+			markSkippedLocked(gs, requester<<32|c)
+		}
+	}
+	gs.gbSeen[requester] = counter
 }
 
 // dispatchHeld reprocesses a packet whose handling was deferred while the
@@ -1051,6 +1199,10 @@ func (d *Daemon) applyViewChangeLocked(gs *groupState, newView core.View, kind i
 	gs.prevView = old
 	gs.view = newView.Clone()
 	d.counters.ViewChanges++
+	d.bus.Publish(events.Event{
+		Kind: events.ViewInstalled, Group: gs.view.Group, View: gs.view.ID,
+		Detail: fmt.Sprintf("%d members", len(gs.view.Members)),
+	})
 
 	var wrong []wrongRemoval
 	if kind == gbFail {
@@ -1455,6 +1607,12 @@ func (d *Daemon) handleSiteFailure(s addr.SiteID) {
 		d.finishAbcast(st)
 	}
 	for _, r := range removals {
+		if r.force {
+			// This site is stepping in for a coordinator that died
+			// mid-protocol (or mid-fan-out): the forced flush finishes the
+			// dead coordinator's work.
+			d.bus.Publish(events.Event{Kind: events.Takeover, Group: r.gid, Peer: s})
+		}
 		d.requestRemoval(r.gid, r.procs, gbFail, r.force)
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/msg"
 )
 
@@ -56,6 +57,7 @@ func (d *Daemon) CreateGroup(creator addr.Address, name string) (core.View, erro
 		d.nameCache[name] = gid
 	}
 	d.counters.ViewChanges++
+	d.bus.Publish(events.Event{Kind: events.ViewInstalled, Group: gid, View: view.ID, Detail: "created"})
 	v := view.Clone()
 	if lp.deliverView != nil {
 		cb := lp.deliverView
@@ -423,9 +425,12 @@ func (d *Daemon) coordinatorCall(gid addr.Address, req *msg.Message) (*msg.Messa
 	mu := d.groupReqMu(gid)
 	mu.Lock()
 	defer mu.Unlock()
-	if req.GetInt(fReqID, 0) == 0 {
-		req.PutInt(fReqID, d.newReqID())
+	rid := req.GetInt(fReqID, 0)
+	if rid == 0 {
+		rid = d.newReqID()
+		req.PutInt(fReqID, rid)
 	}
+	d.noteRequest(rid, gid, reqPending)
 	var lastErr error
 	for attempt := 0; attempt < 4; attempt++ {
 		view, ok := d.CurrentView(gid)
@@ -450,12 +455,14 @@ func (d *Daemon) coordinatorCall(gid addr.Address, req *msg.Message) (*msg.Messa
 			// Execute locally: enqueue the work and wait for completion.
 			resp, err := d.localGbRequest(gid, req)
 			if err == nil {
+				d.noteRequest(rid, gid, reqCommitted)
 				return resp, nil
 			}
 			lastErr = err
 		} else {
 			resp, err := d.call(coord.Site, ptGbRequest, req)
 			if err == nil {
+				d.noteRequest(rid, gid, reqCommitted)
 				return resp, nil
 			}
 			lastErr = err
@@ -468,6 +475,7 @@ func (d *Daemon) coordinatorCall(gid addr.Address, req *msg.Message) (*msg.Messa
 		if errors.Is(lastErr, ErrNonPrimary) {
 			// The coordinator is wedged in a minority partition; retrying
 			// the same partition cannot succeed until the merge runs.
+			d.noteRequest(rid, gid, reqGaveUp)
 			return nil, lastErr
 		}
 		time.Sleep(20 * time.Millisecond)
@@ -475,6 +483,7 @@ func (d *Daemon) coordinatorCall(gid addr.Address, req *msg.Message) (*msg.Messa
 	if lastErr == nil {
 		lastErr = ErrTimeout
 	}
+	d.noteRequest(rid, gid, reqGaveUp)
 	return nil, lastErr
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/msg"
 )
 
@@ -28,8 +29,18 @@ const fRelay = "&relay"
 // handed to the network. GBCAST is synchronous: it returns once the
 // globally-ordered delivery has been committed at the group.
 func (d *Daemon) Multicast(sender addr.Address, proto Protocol, dests addr.List, entry addr.EntryID, payload *msg.Message) (core.MsgID, error) {
+	id, _, err := d.MulticastRequest(sender, proto, dests, entry, payload)
+	return id, err
+}
+
+// MulticastRequest is Multicast, additionally returning the stable GBCAST
+// request id minted for the send (zero for CBCAST/ABCAST, which have no
+// request id). The id is returned even when the call fails: that is
+// precisely the case in which the caller needs it, to ask RequestOutcome
+// what became of the timed-out request.
+func (d *Daemon) MulticastRequest(sender addr.Address, proto Protocol, dests addr.List, entry addr.EntryID, payload *msg.Message) (core.MsgID, int64, error) {
 	if len(dests) == 0 {
-		return core.MsgID{}, ErrEmptyDest
+		return core.MsgID{}, 0, ErrEmptyDest
 	}
 	if payload == nil {
 		payload = msg.New()
@@ -37,16 +48,16 @@ func (d *Daemon) Multicast(sender addr.Address, proto Protocol, dests addr.List,
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
-		return core.MsgID{}, ErrClosed
+		return core.MsgID{}, 0, ErrClosed
 	}
 	lp, ok := d.procs[sender.Base()]
 	if !ok {
 		d.mu.Unlock()
-		return core.MsgID{}, ErrUnknownProc
+		return core.MsgID{}, 0, ErrUnknownProc
 	}
 	if !lp.alive {
 		d.mu.Unlock()
-		return core.MsgID{}, ErrDeadProcess
+		return core.MsgID{}, 0, ErrDeadProcess
 	}
 	lp.nextSeq++
 	id := core.MsgID{Sender: sender.Base(), Seq: lp.nextSeq}
@@ -57,7 +68,7 @@ func (d *Daemon) Multicast(sender addr.Address, proto Protocol, dests addr.List,
 	for _, a := range dests.Dedup() {
 		if a.IsGroup() {
 			if !group.IsNil() {
-				return core.MsgID{}, fmt.Errorf("%w: at most one group destination", ErrBadProtocol)
+				return core.MsgID{}, 0, fmt.Errorf("%w: at most one group destination", ErrBadProtocol)
 			}
 			group = a.Base()
 		} else {
@@ -67,31 +78,34 @@ func (d *Daemon) Multicast(sender addr.Address, proto Protocol, dests addr.List,
 
 	if group.IsNil() {
 		if proto == GBCAST || proto == ABCAST {
-			return core.MsgID{}, fmt.Errorf("%w: %v requires a group destination", ErrBadProtocol, proto)
+			return core.MsgID{}, 0, fmt.Errorf("%w: %v requires a group destination", ErrBadProtocol, proto)
 		}
-		return id, d.sendPointToPoint(sender, id, procDests, entry, payload)
+		return id, 0, d.sendPointToPoint(sender, id, procDests, entry, payload)
 	}
 
 	if proto == GBCAST {
 		if len(procDests) > 0 {
-			return core.MsgID{}, fmt.Errorf("%w: GBCAST cannot carry extra process destinations", ErrBadProtocol)
+			return core.MsgID{}, 0, fmt.Errorf("%w: GBCAST cannot carry extra process destinations", ErrBadProtocol)
 		}
-		return id, d.sendUserGbcast(sender, group, entry, payload)
+		rid, err := d.sendUserGbcast(sender, group, entry, payload)
+		return id, rid, err
 	}
 
 	if err := d.sendGroupMulticast(sender, lp, proto, group, id, entry, payload); err != nil {
-		return core.MsgID{}, err
+		return core.MsgID{}, 0, err
 	}
 	if len(procDests) > 0 {
 		if err := d.sendPointToPoint(sender, id, procDests, entry, payload); err != nil {
-			return core.MsgID{}, err
+			return core.MsgID{}, 0, err
 		}
 	}
-	return id, nil
+	return id, 0, nil
 }
 
 // sendUserGbcast routes a user-level GBCAST through the group coordinator.
-func (d *Daemon) sendUserGbcast(sender, gid addr.Address, entry addr.EntryID, payload *msg.Message) error {
+// It returns the stable request id minted for the call — even on error, so
+// the caller can later query the request's outcome.
+func (d *Daemon) sendUserGbcast(sender, gid addr.Address, entry addr.EntryID, payload *msg.Message) (int64, error) {
 	req := msg.New()
 	req.PutInt(fKind, gbUser)
 	req.PutAddress(fGroup, gid)
@@ -99,7 +113,7 @@ func (d *Daemon) sendUserGbcast(sender, gid addr.Address, entry addr.EntryID, pa
 	req.PutInt(fEntry, int64(entry))
 	req.PutMessage(fPayload, payload.Clone())
 	_, err := d.coordinatorCall(gid, req)
-	return err
+	return req.GetInt(fReqID, 0), err
 }
 
 // sendPointToPoint delivers a message directly to a list of processes; the
@@ -773,6 +787,7 @@ func (d *Daemon) resolicitStragglers() {
 		d.handleAbCommit(d.site, c)
 	}
 	for _, a := range asks {
+		d.bus.Publish(events.Event{Kind: events.AbcastResolicit, Group: a.gid, Peer: a.to, Msg: a.id})
 		req := msg.New()
 		req.PutAddress(fGroup, a.gid)
 		putMsgID(req, a.id)

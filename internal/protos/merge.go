@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/msg"
 )
 
@@ -38,25 +39,36 @@ func (d *Daemon) GroupPrimary(gid addr.Address) bool {
 	return true
 }
 
-// WatchPrimary registers a callback invoked whenever a locally hosted group
-// copy transitions between primary and non-primary status: (gid, false) when
-// the copy wedges into a minority partition, (gid, true) when it resumes or
-// completes a merge back into the primary.
-func (d *Daemon) WatchPrimary(cb func(gid addr.Address, primary bool)) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.primWatch = append(d.primWatch, cb)
+// WatchPrimary invokes the callback whenever a locally hosted group copy
+// transitions between primary and non-primary status: (gid, false) when the
+// copy wedges into a minority partition, (gid, true) when it resumes or
+// completes a merge back into the primary. It is a compatibility wrapper
+// over the event stream: transitions are delivered asynchronously from a
+// forwarding goroutine, and the returned cancel stops the subscription.
+//
+// Deprecated: subscribe to the event stream (Events) with kinds PrimaryLost
+// and PrimaryResumed instead.
+func (d *Daemon) WatchPrimary(cb func(gid addr.Address, primary bool)) (cancel func()) {
+	ch, cancel := d.bus.Subscribe(events.Filter{
+		Kinds: []events.Kind{events.PrimaryLost, events.PrimaryResumed},
+	}, 0)
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		for e := range ch {
+			cb(e.Group, e.Kind == events.PrimaryResumed)
+		}
+	}()
+	return cancel
 }
 
-// notifyPrimary delivers a primary-status transition to every watcher.
+// notifyPrimary publishes a primary-status transition on the event stream.
 func (d *Daemon) notifyPrimary(gid addr.Address, primary bool) {
-	d.mu.Lock()
-	watchers := make([]func(addr.Address, bool), len(d.primWatch))
-	copy(watchers, d.primWatch)
-	d.mu.Unlock()
-	for _, w := range watchers {
-		w(gid, primary)
+	kind := events.PrimaryLost
+	if primary {
+		kind = events.PrimaryResumed
 	}
+	d.bus.Publish(events.Event{Kind: kind, Group: gid.Base()})
 }
 
 // MergeGroup merges this site's non-primary copy of a group back into the
@@ -99,6 +111,7 @@ func (d *Daemon) mergeGroup(gid addr.Address) error {
 	}
 	d.merging[gid] = true
 	staleView := gs.view.Clone()
+	d.bus.Publish(events.Event{Kind: events.MergeStart, Group: gid, View: staleView.ID})
 	d.mu.Unlock()
 	defer func() {
 		d.mu.Lock()
@@ -179,6 +192,7 @@ func (d *Daemon) mergeGroup(gid addr.Address) error {
 		}
 	}
 	if firstErr == nil {
+		d.bus.Publish(events.Event{Kind: events.MergeLand, Group: gid, View: primView.ID})
 		d.notifyPrimary(gid, true)
 	}
 	return firstErr
@@ -237,6 +251,7 @@ func (d *Daemon) parkRejoin(gid, proc addr.Address, recv func(block []byte, last
 	if !d.closed {
 		k := parkKey{gid: gid.Base(), proc: proc.Base()}
 		d.parkedMerges[k] = parkedRejoin{gid: k.gid, proc: k.proc, recv: recv}
+		d.bus.Publish(events.Event{Kind: events.MergePark, Group: k.gid, Detail: k.proc.String()})
 	}
 	d.mu.Unlock()
 }
@@ -286,6 +301,7 @@ func (d *Daemon) retryParkedMerges() {
 	d.mu.Unlock()
 
 	for _, p := range parked {
+		d.bus.Publish(events.Event{Kind: events.MergeRetry, Group: p.gid, Detail: p.proc.String()})
 		done, notify := d.retryParkedRejoin(p)
 		if !done {
 			continue

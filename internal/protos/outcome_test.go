@@ -1,0 +1,83 @@
+package protos
+
+// Request-outcome settlement scenarios: a requester that gave up on a GBCAST
+// call must be able to learn, after the fact, whether the request took
+// effect — with the answer staying correct when the coordinator that ran the
+// request dies before answering.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/simnet"
+)
+
+// TestRequestOutcomeCommittedAcrossCoordinatorCrash commits a GBCAST at both
+// members while every answer toward the requester is held, so the requester
+// gives up with the outcome unresolved. The coordinator then crashes. The
+// outcome query must still answer Committed: the seal round reaches the
+// surviving member, whose first-hand dedupe record of the id is a positive
+// vote.
+func TestRequestOutcomeCommittedAcrossCoordinatorCrash(t *testing.T) {
+	tc := newFaultCluster(t, 3, simnet.FastConfig(), 300*time.Millisecond, scenarioDetector())
+	procs := buildGroup(t, tc, "outc", 1, 2)
+	gid := groupOf(t, tc, procs[0], "outc")
+
+	// The requester at site 3 learns the view while links are healthy, then
+	// loses every inbound answer: its request reaches the coordinator, the
+	// commit reaches both members, but nothing comes back.
+	requester := tc.newProc(3)
+	if _, err := tc.daemons[3].RefreshGroupView(gid); err != nil {
+		t.Fatal(err)
+	}
+	tc.net.PauseLink(1, 3)
+	tc.net.PauseLink(2, 3)
+
+	_, rid, err := tc.daemons[3].MulticastRequest(requester.addr, GBCAST, addr.List{gid}, addr.EntryUserBase, body("orphaned"))
+	if err == nil {
+		t.Fatal("MulticastRequest succeeded with every answer held")
+	}
+	if rid == 0 {
+		t.Fatal("failed MulticastRequest did not report the minted request id")
+	}
+	waitFor(t, "commit at both members", 5*time.Second, func() bool {
+		return procs[0].got("orphaned") && procs[1].got("orphaned")
+	})
+
+	// Coordinator crashes; the link heals. Only the successor knows the
+	// request's fate now.
+	tc.daemons[1].Close()
+	tc.net.ResumeAll()
+	waitFor(t, "survivor finishes the takeover", 10*time.Second, func() bool {
+		return procs[1].lastView().Size() == 1
+	})
+
+	waitFor(t, "outcome settles as committed via the successor", 10*time.Second, func() bool {
+		out, err := tc.daemons[3].RequestOutcome(rid)
+		if out == OutcomeAborted {
+			t.Fatalf("RequestOutcome = aborted for a committed request (err %v)", err)
+		}
+		return out == OutcomeCommitted
+	})
+
+	// Settled outcomes are cached requester-side: no further protocol rounds.
+	before := tc.daemons[2].Counters().GBCASTs
+	if out, err := tc.daemons[3].RequestOutcome(rid); err != nil || out != OutcomeCommitted {
+		t.Fatalf("cached RequestOutcome = %v, %v; want committed, nil", out, err)
+	}
+	if after := tc.daemons[2].Counters().GBCASTs; after != before {
+		t.Errorf("cached outcome query ran %d extra GBCAST rounds", after-before)
+	}
+}
+
+// TestRequestOutcomeUnknownForeignID asks about an id the daemon never
+// minted.
+func TestRequestOutcomeUnknownForeignID(t *testing.T) {
+	tc := newFaultCluster(t, 1, simnet.FastConfig(), time.Second, scenarioDetector())
+	out, err := tc.daemons[1].RequestOutcome(424242)
+	if out != OutcomeUnknown || !errors.Is(err, ErrUnknownRequest) {
+		t.Fatalf("RequestOutcome = %v, %v; want unknown, ErrUnknownRequest", out, err)
+	}
+}

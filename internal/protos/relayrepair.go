@@ -28,10 +28,12 @@ package protos
 //     because receivers drop external sequences below their expectation.
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/addr"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/msg"
 )
 
@@ -241,6 +243,10 @@ func (d *Daemon) repairRelayHole(lr lostRelay) bool {
 		// exactly as a synchronous refusal would have been.
 		lp.extSeq[lr.gid]--
 		d.counters.CBCASTs--
+		d.bus.Publish(events.Event{
+			Kind: events.RelayRollback, Group: lr.gid,
+			Detail: fmt.Sprintf("seq %d", lr.seq),
+		})
 		d.mu.Unlock()
 		return true
 	}
@@ -277,6 +283,10 @@ func (d *Daemon) sendNullRelay(lp *localProc, gid addr.Address, seq uint64) bool
 		err := d.relayCBCASTCall(coord.Site, pkt, lp, gid, seq)
 		switch {
 		case err == nil:
+			d.bus.Publish(events.Event{
+				Kind: events.RelayNullFill, Group: gid, Msg: id,
+				Detail: fmt.Sprintf("seq %d", seq),
+			})
 			return true
 		case (errors.Is(err, ErrUnknownGroup) || errors.Is(err, ErrNonPrimary)) && attempt == 0:
 			// The cached view is stale: the site asked no longer hosts the

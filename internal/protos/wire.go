@@ -120,6 +120,8 @@ const (
 	fPrimary   = "&primary" // lookup response: the answering site's copy is primary
 	fFound     = "&found"   // lookup response: the answering site hosts the group
 	fSite      = "&site"    // lookup response: the answering site's id
+	fSealReq   = "&sealreq" // gbSeal: the request id whose outcome is being settled
+	fOutcome   = "&outcome" // gbSeal result: 1 committed, 2 aborted
 )
 
 // GB request kinds carried in ptGbRequest packets.
@@ -131,6 +133,7 @@ const (
 	gbConfigHint                   // reserved for the configuration tool (delivered like gbUser)
 	gbNonPrimary                   // minority notice: wedge into read-only non-primary mode
 	gbResume                       // total-wedge recovery: resume the last agreed view in place
+	gbSeal                         // settle the outcome of an earlier request id (commit or abort it)
 )
 
 // encodeView stores a view in a nested message.

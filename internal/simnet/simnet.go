@@ -287,6 +287,13 @@ func (n *Network) Close() {
 // netback.LinkWatcher.
 type LinkEvent = netback.LinkEvent
 
+// The simulated LAN is both a link watcher and a fault injector; partition
+// tests written against the netback capabilities run on it unchanged.
+var (
+	_ netback.FaultInjector = (*Network)(nil)
+	_ netback.LinkWatcher   = (*Network)(nil)
+)
+
 // WatchLinks registers a callback invoked whenever a partition is injected
 // or healed, and returns a function that unregisters it. The protocols
 // daemon uses heal events to probe the peer immediately (an instant

@@ -100,7 +100,7 @@ func (b *Board) Post(subject, body string, data []byte) error {
 	if b.ordered {
 		proto = isis.ABCAST
 	}
-	_, err := b.p.Cast(proto, []isis.Address{b.gid}, b.entry, m, 0)
+	_, err := b.p.Cast(proto, []isis.Address{b.gid}, b.entry, m)
 	return err
 }
 

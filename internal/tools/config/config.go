@@ -38,7 +38,7 @@ func (t *Tool) Update(key string, value []byte) error {
 	m := isis.NewMessage()
 	m.PutString("cfg-key", key)
 	m.PutBytes("cfg-val", value)
-	_, err := t.p.Cast(isis.GBCAST, []isis.Address{t.gid}, isis.EntryConfig, m, 0)
+	_, err := t.p.Cast(isis.GBCAST, []isis.Address{t.gid}, isis.EntryConfig, m)
 	return err
 }
 

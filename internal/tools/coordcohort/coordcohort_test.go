@@ -225,7 +225,7 @@ func TestNonParticipantsSendNullReplies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	replies, err := client.Cast(isis.CBCAST, []isis.Address{s.gid}, isis.EntryUserBase, isis.Text("q"), isis.All)
+	replies, err := client.Cast(isis.CBCAST, []isis.Address{s.gid}, isis.EntryUserBase, isis.Text("q"), isis.Replies(isis.All))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -143,7 +143,7 @@ func (s *Server) forward(subject string, post *isis.Message) {
 	if len(mine) == 0 {
 		return
 	}
-	_, _ = s.p.Cast(isis.CBCAST, mine, isis.EntryNews, feed, 0)
+	_, _ = s.p.Cast(isis.CBCAST, mine, isis.EntryNews, feed)
 }
 
 // ---------------------------------------------------------------------------
@@ -185,7 +185,7 @@ func (c *Client) Subscribe(subject string, handler func(Posting)) error {
 	c.handlers[subject] = append(c.handlers[subject], handler)
 	c.mu.Unlock()
 	m := isis.NewMessage().PutString(fOp, opSub).PutString(fSubject, subject)
-	_, err := c.p.Cast(isis.ABCAST, []isis.Address{c.gid}, isis.EntryNews, m, 0)
+	_, err := c.p.Cast(isis.ABCAST, []isis.Address{c.gid}, isis.EntryNews, m)
 	return err
 }
 
@@ -195,7 +195,7 @@ func (c *Client) Unsubscribe(subject string) error {
 	delete(c.handlers, subject)
 	c.mu.Unlock()
 	m := isis.NewMessage().PutString(fOp, opUnsub).PutString(fSubject, subject)
-	_, err := c.p.Cast(isis.ABCAST, []isis.Address{c.gid}, isis.EntryNews, m, 0)
+	_, err := c.p.Cast(isis.ABCAST, []isis.Address{c.gid}, isis.EntryNews, m)
 	return err
 }
 
@@ -206,7 +206,7 @@ func (c *Client) Post(subject, body string, data []byte) error {
 	if data != nil {
 		m.PutBytes("data", data)
 	}
-	_, err := c.p.Cast(isis.ABCAST, []isis.Address{c.gid}, isis.EntryNews, m, 0)
+	_, err := c.p.Cast(isis.ABCAST, []isis.Address{c.gid}, isis.EntryNews, m)
 	return err
 }
 

@@ -37,10 +37,10 @@ func TestGuardRejectsUnknownSenders(t *testing.T) {
 	untrusted, _ := c.Site(2).Spawn()
 	guard.Allow(trusted.Address())
 
-	if _, err := trusted.Cast(isis.CBCAST, []isis.Address{v.Group}, isis.EntryUserBase, isis.Text("from-trusted"), 0); err != nil {
+	if _, err := trusted.Cast(isis.CBCAST, []isis.Address{v.Group}, isis.EntryUserBase, isis.Text("from-trusted")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := untrusted.Cast(isis.CBCAST, []isis.Address{v.Group}, isis.EntryUserBase, isis.Text("from-untrusted"), 0); err != nil {
+	if _, err := untrusted.Cast(isis.CBCAST, []isis.Address{v.Group}, isis.EntryUserBase, isis.Text("from-untrusted")); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -86,10 +86,10 @@ func TestValidatorCanAccept(t *testing.T) {
 	good := isis.Text("with-password")
 	good.PutString("password", "sesame")
 	bad := isis.Text("without-password")
-	if _, err := client.Cast(isis.CBCAST, []isis.Address{v.Group}, isis.EntryUserBase, bad, 0); err != nil {
+	if _, err := client.Cast(isis.CBCAST, []isis.Address{v.Group}, isis.EntryUserBase, bad); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Cast(isis.CBCAST, []isis.Address{v.Group}, isis.EntryUserBase, good, 0); err != nil {
+	if _, err := client.Cast(isis.CBCAST, []isis.Address{v.Group}, isis.EntryUserBase, good); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -121,7 +121,7 @@ func TestSenderAddressCannotBeForged(t *testing.T) {
 	// the system field is stripped and replaced with the true sender.
 	forged := isis.Text("spoof")
 	forged.PutAddress("@sender", server.Address())
-	if _, err := attacker.Cast(isis.CBCAST, []isis.Address{v.Group}, isis.EntryUserBase, forged, 0); err != nil {
+	if _, err := attacker.Cast(isis.CBCAST, []isis.Address{v.Group}, isis.EntryUserBase, forged); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -143,14 +143,14 @@ func TestRevoke(t *testing.T) {
 	v, _ := server.CreateGroup("revocable")
 	client, _ := c.Site(2).Spawn()
 	guard.Allow(client.Address())
-	_, _ = client.Cast(isis.CBCAST, []isis.Address{v.Group}, isis.EntryUserBase, isis.Text("one"), 0)
+	_, _ = client.Cast(isis.CBCAST, []isis.Address{v.Group}, isis.EntryUserBase, isis.Text("one"))
 	select {
 	case <-got:
 	case <-time.After(3 * time.Second):
 		t.Fatal("allowed message not delivered")
 	}
 	guard.Revoke(client.Address())
-	_, _ = client.Cast(isis.CBCAST, []isis.Address{v.Group}, isis.EntryUserBase, isis.Text("two"), 0)
+	_, _ = client.Cast(isis.CBCAST, []isis.Address{v.Group}, isis.EntryUserBase, isis.Text("two"))
 	select {
 	case m := <-got:
 		t.Fatalf("revoked sender's message delivered: %q", m)

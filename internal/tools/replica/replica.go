@@ -123,7 +123,7 @@ func (it *Item) Update(args *isis.Message) error {
 	m := args.Clone()
 	m.PutString(fOp, fUpd)
 	m.PutString("ri-name", it.name)
-	_, err := it.p.Cast(it.protocol(), []isis.Address{it.gid}, it.entry, m, 0)
+	_, err := it.p.Cast(it.protocol(), []isis.Address{it.gid}, it.entry, m)
 	return err
 }
 
@@ -283,7 +283,7 @@ func (c *Client) Update(args *isis.Message) error {
 	if c.mode == Total {
 		proto = isis.ABCAST
 	}
-	_, err := c.p.Cast(proto, []isis.Address{c.gid}, c.entry, m, 0)
+	_, err := c.p.Cast(proto, []isis.Address{c.gid}, c.entry, m)
 	return err
 }
 

@@ -258,6 +258,6 @@ func (c *Client) P() error {
 // order relative to P requests).
 func (c *Client) V() error {
 	m := isis.NewMessage().PutString(fOp, opV).PutString(fName, c.name)
-	_, err := c.p.Cast(isis.ABCAST, []isis.Address{c.gid}, c.entry, m, 0)
+	_, err := c.p.Cast(isis.ABCAST, []isis.Address{c.gid}, c.entry, m)
 	return err
 }

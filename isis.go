@@ -34,6 +34,7 @@ package isis
 import (
 	"repro/internal/addr"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/fdetect"
 	"repro/internal/msg"
 	"repro/internal/protos"
@@ -61,7 +62,59 @@ type (
 	// MergePolicy selects how the cluster handles network partitions (the
 	// primary-partition rule and the merge trigger).
 	MergePolicy = protos.MergePolicy
+	// Event is one operational event from a site's event stream.
+	Event = events.Event
+	// EventKind classifies an operational event.
+	EventKind = events.Kind
+	// EventFilter restricts an event subscription; the zero value matches
+	// every event.
+	EventFilter = events.Filter
+	// EventStats reports publish and drop totals of an event bus.
+	EventStats = events.Stats
+	// Outcome is the fate of a tracked group request (Process.Outcome).
+	Outcome = protos.Outcome
 )
+
+// Operational event kinds (Site.Events / Cluster.Events).
+const (
+	EventViewInstalled   = events.ViewInstalled
+	EventViewCommitted   = events.ViewCommitted
+	EventPrimaryLost     = events.PrimaryLost
+	EventPrimaryResumed  = events.PrimaryResumed
+	EventPartitionWedge  = events.PartitionWedge
+	EventMergeStart      = events.MergeStart
+	EventMergePark       = events.MergePark
+	EventMergeRetry      = events.MergeRetry
+	EventMergeLand       = events.MergeLand
+	EventFlushBegin      = events.FlushBegin
+	EventAbcastFenced    = events.AbcastFenced
+	EventFlushComplete   = events.FlushComplete
+	EventAbcastResolicit = events.AbcastResolicit
+	EventTakeover        = events.Takeover
+	EventRelayRollback   = events.RelayRollback
+	EventRelayNullFill   = events.RelayNullFill
+	EventSiteDown        = events.SiteDown
+	EventSiteUp          = events.SiteUp
+	EventSiteRestart     = events.SiteRestart
+	EventLinkDown        = events.LinkDown
+	EventLinkUp          = events.LinkUp
+)
+
+// Request outcomes (Process.Outcome).
+const (
+	// OutcomeUnknown means the system cannot yet prove the request committed
+	// or aborted — typically because a partition hides the members that would
+	// know. Ask again later.
+	OutcomeUnknown = protos.OutcomeUnknown
+	// OutcomeCommitted means some group member executed the request.
+	OutcomeCommitted = protos.OutcomeCommitted
+	// OutcomeAborted means the request never executed and never will.
+	OutcomeAborted = protos.OutcomeAborted
+)
+
+// ErrUnknownRequest is returned by Process.Outcome for a request id this
+// site never issued (or one so old its record was evicted).
+var ErrUnknownRequest = protos.ErrUnknownRequest
 
 // Multicast protocols (Section 3.1).
 const (

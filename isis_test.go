@@ -101,8 +101,8 @@ func TestClusterLifecycle(t *testing.T) {
 	if err := c.CrashSite(10); err != ErrNoSuchSite {
 		t.Errorf("double crash err = %v", err)
 	}
-	if c.Network() == nil {
-		t.Error("Network() nil")
+	if sim, ok := c.Network(); !ok || sim == nil {
+		t.Error("Network() not available on simnet backend")
 	}
 }
 
@@ -128,7 +128,7 @@ func TestAsyncCastDeliversToGroup(t *testing.T) {
 	if _, err := b.Join(v.Group, JoinOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	replies, err := a.Cast(CBCAST, []Address{v.Group}, EntryUserBase, Text("news"), 0)
+	replies, err := a.Cast(CBCAST, []Address{v.Group}, EntryUserBase, Text("news"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestCastCollectsAllReplies(t *testing.T) {
 	_, gid := echoService(t, c, "echoAll", 1, 2, 3)
 	client := spawn(t, c, 1)
 
-	replies, err := client.Cast(CBCAST, []Address{gid}, EntryUserBase, Text("q"), All)
+	replies, err := client.Cast(CBCAST, []Address{gid}, EntryUserBase, Text("q"), Replies(All))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func TestNullRepliesAreNotReturnedButCount(t *testing.T) {
 		t.Fatal(err)
 	}
 	client := spawn(t, c, 2)
-	replies, err := client.Cast(CBCAST, []Address{v.Group}, EntryUserBase, Text("q"), All)
+	replies, err := client.Cast(CBCAST, []Address{v.Group}, EntryUserBase, Text("q"), Replies(All))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +221,7 @@ func TestCastAllNullsReturnsNoResponders(t *testing.T) {
 		t.Fatal(err)
 	}
 	client := spawn(t, c, 1)
-	replies, err := client.Cast(CBCAST, []Address{v.Group}, EntryUserBase, Text("q"), 1)
+	replies, err := client.Cast(CBCAST, []Address{v.Group}, EntryUserBase, Text("q"), Replies(1))
 	if err != ErrNoResponders {
 		t.Errorf("err = %v, want ErrNoResponders", err)
 	}
@@ -293,7 +293,7 @@ func TestDuplicateRepliesDiscarded(t *testing.T) {
 		t.Fatal(err)
 	}
 	client := spawn(t, c, 1)
-	replies, err := client.Cast(CBCAST, []Address{v.Group}, EntryUserBase, Text("q"), All)
+	replies, err := client.Cast(CBCAST, []Address{v.Group}, EntryUserBase, Text("q"), Replies(All))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -419,7 +419,7 @@ func TestKilledProcessTriggersFailureView(t *testing.T) {
 	if b.Alive() {
 		t.Error("killed process reports alive")
 	}
-	if _, err := b.Cast(CBCAST, []Address{v.Group}, EntryUserBase, Text("zombie"), 0); err != ErrProcessKilled {
+	if _, err := b.Cast(CBCAST, []Address{v.Group}, EntryUserBase, Text("zombie")); err != ErrProcessKilled {
 		t.Errorf("cast from killed process err = %v", err)
 	}
 	if _, err := b.CreateGroup("nope"); err != ErrProcessKilled {
@@ -451,7 +451,7 @@ func TestCastWaitsForRepliesAcrossMemberFailure(t *testing.T) {
 		_ = silent.Kill()
 	}()
 	start := time.Now()
-	replies, err := client.Cast(CBCAST, []Address{v.Group}, EntryUserBase, Text("q"), All)
+	replies, err := client.Cast(CBCAST, []Address{v.Group}, EntryUserBase, Text("q"), Replies(All))
 	if err != nil {
 		t.Fatalf("cast: %v", err)
 	}
@@ -467,7 +467,7 @@ func TestFlushFromPublicAPI(t *testing.T) {
 	c := newTestCluster(t, 2)
 	members, gid := echoService(t, c, "flushable", 1, 2)
 	for i := 0; i < 3; i++ {
-		if _, err := members[0].Cast(ABCAST, []Address{gid}, EntryUserBase, Text(fmt.Sprintf("u%d", i)), 0); err != nil {
+		if _, err := members[0].Cast(ABCAST, []Address{gid}, EntryUserBase, Text(fmt.Sprintf("u%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -495,7 +495,7 @@ func TestEntriesAndFilters(t *testing.T) {
 	}
 	sender := spawn(t, c, 1)
 	for _, b := range []string{"blocked", "allowed"} {
-		if _, err := sender.Cast(CBCAST, []Address{v.Group}, EntryUserBase, Text(b), 0); err != nil {
+		if _, err := sender.Cast(CBCAST, []Address{v.Group}, EntryUserBase, Text(b)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -516,7 +516,7 @@ func TestClusterCounters(t *testing.T) {
 	c := newTestCluster(t, 2)
 	members, gid := echoService(t, c, "counted", 1, 2)
 	before := c.Counters()
-	if _, err := members[0].Cast(CBCAST, []Address{gid}, EntryUserBase, Text("x"), 0); err != nil {
+	if _, err := members[0].Cast(CBCAST, []Address{gid}, EntryUserBase, Text("x")); err != nil {
 		t.Fatal(err)
 	}
 	waitUntil(t, "counter increase", 3*time.Second, func() bool {
@@ -547,7 +547,7 @@ func TestSiteCrashRemovesMembersFromViews(t *testing.T) {
 	})
 	// The service still answers queries.
 	client := spawn(t, c, 2)
-	replies, err := client.Cast(CBCAST, []Address{gid}, EntryUserBase, Text("post-crash"), All)
+	replies, err := client.Cast(CBCAST, []Address{gid}, EntryUserBase, Text("post-crash"), Replies(All))
 	if err != nil {
 		t.Fatal(err)
 	}

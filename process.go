@@ -2,6 +2,7 @@ package isis
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"time"
 
@@ -32,13 +33,14 @@ type Process struct {
 	tasks        *task.Manager
 	replyTimeout time.Duration
 
-	mu        sync.Mutex
-	killed    bool
-	session   int64
-	pending   map[int64]*pendingCall
-	monitors  map[Address][]func(View)
-	lastViews map[Address]View
-	providers map[Address]func() [][]byte
+	mu          sync.Mutex
+	killed      bool
+	session     int64
+	pending     map[int64]*pendingCall
+	monitors    map[Address]map[int]func(View)
+	nextMonitor int
+	lastViews   map[Address]View
+	providers   map[Address]func() [][]byte
 }
 
 // pendingCall tracks one Cast waiting for replies.
@@ -120,8 +122,15 @@ func (p *Process) onView(v View) {
 		p.lastViews = make(map[Address]View)
 	}
 	p.lastViews[v.Group] = v
-	cbs := make([]func(View), len(p.monitors[v.Group]))
-	copy(cbs, p.monitors[v.Group])
+	ids := make([]int, 0, len(p.monitors[v.Group]))
+	for id := range p.monitors[v.Group] {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids) // registration order: monitor ids are allocated monotonically
+	cbs := make([]func(View), 0, len(ids))
+	for _, id := range ids {
+		cbs = append(cbs, p.monitors[v.Group][id])
+	}
 	p.mu.Unlock()
 	for _, cb := range cbs {
 		cb(v)
@@ -195,11 +204,38 @@ func (p *Process) Leave(gid Address) error {
 
 // Monitor registers a routine invoked on every membership change of the
 // group (pg_monitor). Callbacks are invoked in delivery order relative to
-// the process's message deliveries.
-func (p *Process) Monitor(gid Address, cb func(View)) {
+// the process's message deliveries — unlike the site-level event stream,
+// which is asynchronous. The returned cancel removes the registration; no
+// callback runs after cancel returns while p.mu is free.
+func (p *Process) Monitor(gid Address, cb func(View)) (cancel func()) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.monitors[gid.Base()] = append(p.monitors[gid.Base()], cb)
+	base := gid.Base()
+	if p.monitors[base] == nil {
+		p.monitors[base] = make(map[int]func(View))
+	}
+	p.nextMonitor++
+	id := p.nextMonitor
+	p.monitors[base][id] = cb
+	return func() {
+		p.mu.Lock()
+		delete(p.monitors[base], id)
+		p.mu.Unlock()
+	}
+}
+
+// Outcome reports the fate of an earlier group request (a GBCAST Cast
+// tracked with TrackRequest) whose call failed or timed out: OutcomeCommitted
+// when some member executed it, OutcomeAborted when it provably never will,
+// OutcomeUnknown when the system cannot yet tell — ask again after the
+// partition heals. The answer is correct across coordinator fail-over: an
+// Unknown request is settled by running a seal through the group, after
+// which the request either is committed somewhere or can never commit.
+func (p *Process) Outcome(rid RequestID) (Outcome, error) {
+	if !p.Alive() {
+		return OutcomeUnknown, ErrProcessKilled
+	}
+	return p.site.daemon.RequestOutcome(int64(rid))
 }
 
 // CurrentView returns the most recent view of a group known to this process
